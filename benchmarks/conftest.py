@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one paper artifact (or extension study) and
+writes its paper-style report to ``benchmarks/reports/<name>.txt`` so the
+rows/series survive pytest's output capture.  EXPERIMENTS.md records the
+paper-vs-measured comparison based on these reports.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture
+def save_report():
+    """Write an experiment report to benchmarks/reports/<name>.txt."""
+
+    def _save(name: str, text: str) -> pathlib.Path:
+        REPORT_DIR.mkdir(exist_ok=True)
+        path = REPORT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a heavyweight experiment exactly once (no warmup reruns)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

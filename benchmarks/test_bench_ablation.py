@@ -1,0 +1,46 @@
+"""E-X3: ablations over the diffusion parameter and gossip staleness.
+
+The paper fixes alpha = 1/(deg+1) and assumes instantaneous gossip; these
+sweeps show the sensitivity: small alpha converges slowly, the adaptive
+default is near-best, and stale gossip costs rounds without breaking
+convergence (bounded delay, per Bertsekas & Tsitsiklis).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablation import run_alpha_ablation, run_delay_ablation
+
+from conftest import run_once
+
+
+def test_bench_alpha_sweep(benchmark, save_report):
+    # alpha = 0.05 on the 16-node chain needs ~10^5 rounds (spectral gap
+    # scales as alpha/n^2), so the sweep's smallest alpha is 0.1
+    result = run_once(
+        benchmark, run_alpha_ablation, alphas=(None, 0.1, 0.3), max_rounds=40000
+    )
+    save_report("ablation_alpha", result.report())
+    by_tree = {}
+    for row in result.rows:
+        by_tree.setdefault(row.tree, []).append(row)
+    for tree, rows in by_tree.items():
+        assert all(r.converged for r in rows), tree
+        # small alpha is slower than the adaptive default
+        default = next(r for r in rows if r.alpha is None)
+        small = next(r for r in rows if r.alpha == 0.1)
+        assert small.rounds >= default.rounds
+
+
+def test_bench_delay_sweep(benchmark, save_report):
+    result = run_once(
+        benchmark, run_delay_ablation, delays=(0, 2, 8), max_rounds=40000
+    )
+    save_report("ablation_delay", result.report())
+    by_tree = {}
+    for row in result.rows:
+        by_tree.setdefault(row.tree, []).append(row)
+    for tree, rows in by_tree.items():
+        assert all(r.converged for r in rows), tree
+        fresh = next(r for r in rows if r.gossip_delay == 0)
+        stale = next(r for r in rows if r.gossip_delay == 8)
+        assert stale.rounds >= fresh.rounds

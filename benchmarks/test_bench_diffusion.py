@@ -1,0 +1,27 @@
+"""E-X2: Section 2's diffusion theory - spectral vs measured convergence.
+
+Cybenko's bound: per-iteration contraction of the distance to uniform load
+is at most the diffusion matrix's second eigenvalue magnitude.  The
+empirical rate must respect the bound and typically sits at it.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.diffusion_theory import run_diffusion_theory
+
+from conftest import run_once
+
+
+def test_bench_diffusion_theory(benchmark, save_report):
+    result = run_once(benchmark, run_diffusion_theory, max_iterations=20000)
+    save_report("diffusion_theory", result.report())
+    for row in result.rows:
+        # measured contraction never exceeds the spectral bound
+        assert row.empirical <= row.spectral + 1e-6
+        assert 0.0 <= row.spectral < 1.0
+        # the long-run empirical rate sits essentially at the bound
+        # (the raw-scale fitted gamma can undershoot when a fast initial
+        # transient dominates the least squares; the geometric-mean rate is
+        # the asymptotically meaningful one)
+        if row.iterations > 100:
+            assert abs(row.empirical - row.spectral) < 0.05

@@ -1,0 +1,80 @@
+"""E-X6..E-X9: extension studies beyond the published evaluation.
+
+* weighted TLB under heterogeneous capacities,
+* asynchronous activations vs gossip staleness,
+* erratic request rates (the paper's "ongoing simulation study"),
+* overlapping routing trees (Section 7 future work).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.extensions import (
+    run_async_study,
+    run_cache_capacity_study,
+    run_dynamics_study,
+    run_forest_study,
+    run_weighted_study,
+)
+
+from conftest import run_once
+
+
+def test_bench_weighted(benchmark, save_report):
+    study = run_once(benchmark, run_weighted_study, spreads=(1.0, 4.0, 8.0))
+    save_report("ext_weighted", study.report())
+    for _, uniform_util, weighted_util, _, converged in study.rows:
+        assert converged
+        # the capacity-aware optimum never has worse max utilization
+        assert weighted_util <= uniform_util + 1e-9
+    # and the gap widens with the capacity spread
+    gaps = [u - w for _, u, w, _, _ in study.rows]
+    assert gaps[-1] > gaps[0]
+
+
+def test_bench_async(benchmark, save_report):
+    study = run_once(benchmark, run_async_study, staleness_levels=(0, 5, 10))
+    save_report("ext_async", study.report())
+    for staleness, activations, converged, per_node in study.rows:
+        assert converged, f"staleness={staleness}"
+    # async effort stays within a small factor of the synchronous runtime
+    # (activations/n comparable to synchronous rounds)
+    per_node_costs = [r[3] for r in study.rows]
+    assert max(per_node_costs) < 20 * study.sync_rounds
+
+
+def test_bench_dynamics(benchmark, save_report):
+    study = run_once(benchmark, run_dynamics_study, crowd_rates=(40.0, 160.0))
+    save_report("ext_dynamics", study.report())
+    errors = [row[1] for row in study.rows]
+    finals = [row[3] for row in study.rows]
+    # bigger crowds mean bigger transient error...
+    assert errors[-1] > errors[0]
+    # ...but the protocol always re-converges after the crowd dissolves
+    assert all(f < 1e-2 for f in finals)
+
+
+def test_bench_cache_capacity(benchmark, save_report):
+    study = run_once(benchmark, run_cache_capacity_study, capacities=(1, 4, None))
+    save_report("ext_capacity", study.report())
+    throughputs = [row[1] for row in study.rows]
+    evictions = [row[4] for row in study.rows]
+    # single-slot caches thrash and lose most of the throughput
+    assert throughputs[0] < 0.5 * throughputs[-1]
+    # a handful of slots recovers the bulk of unlimited behaviour
+    assert throughputs[1] > 0.6 * throughputs[-1]
+    # the unlimited store never evicts
+    assert evictions[-1] == 0
+    assert evictions[0] > 0
+
+
+def test_bench_forest(benchmark, save_report):
+    study = run_once(benchmark, run_forest_study)
+    save_report("ext_forest", study.report())
+    for name, homes, initial, final, solo, improvement in study.rows:
+        # coupled diffusion never worsens the max total load
+        assert final <= initial + 1e-6
+    # and on skewed demands it slashes it
+    improvements = [row[5] for row in study.rows]
+    assert max(improvements) > 0.5

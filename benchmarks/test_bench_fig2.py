@@ -1,0 +1,20 @@
+"""E-F2 / Figure 2: TLB vs GLE load assignments.
+
+Regenerates the per-node TLB loads for the two spontaneous-rate patterns of
+Figure 2 and checks the paper's claim: pattern (a) admits GLE, pattern (b)
+does not (the empty subtree is pinned at zero and everyone else carries more
+than the mean).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig2 import run_fig2
+
+from conftest import run_once
+
+
+def test_bench_fig2(benchmark, save_report):
+    result = run_once(benchmark, run_fig2)
+    save_report("fig2", result.report())
+    assert result.gle_a and not result.gle_b
+    assert result.loads_b[2] == 0.0

@@ -1,0 +1,24 @@
+"""E-F6a/b / Figure 6: WebWave converges to TLB exponentially fast.
+
+(a) folds + TLB rate assignment of the hand-crafted tree;
+(b) Euclidean distance to TLB per diffusion round, with the fitted
+``a * gamma**t`` bound - the straight line on the semi-log plot.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig6 import run_fig6
+
+from conftest import run_once
+
+
+def test_bench_fig6(benchmark, save_report):
+    result = run_once(benchmark, run_fig6, max_rounds=4000, tolerance=1e-6)
+    save_report("fig6", result.report())
+    assert result.converged
+    # exponential convergence: good fit, contraction strictly below 1
+    assert result.fit.r_squared > 0.8
+    assert 0.0 < result.fit.gamma < 1.0
+    # variety of folds per the 6a caption
+    sizes = sorted(len(m) for m in result.folds.values())
+    assert sizes[0] == 1 and sizes[-1] >= 4

@@ -1,0 +1,24 @@
+"""E-F7 / Figure 7: the potential barrier and tunneling recovery.
+
+Paper numbers reproduced exactly: stuck loads (120, 120, 0, 120), TLB of 90
+requests at every node, a single tunnel of d3 across the barrier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig7 import run_fig7
+
+from conftest import run_once
+
+
+def test_bench_fig7(benchmark, save_report):
+    result = run_once(benchmark, run_fig7)
+    save_report("fig7", result.report())
+    assert result.initial_loads == (120.0, 120.0, 0.0, 120.0)
+    assert result.target_loads == pytest.approx((90.0,) * 4)
+    assert result.initial_barriers == (1,)
+    assert not result.converged_no_tunneling
+    assert result.converged_tunneling
+    assert [e.document for e in result.tunnel_events] == ["d3"]

@@ -1,0 +1,41 @@
+"""Microbenchmarks of the core algorithmic kernels.
+
+Not a paper artifact - these track the library's own performance: WebFold's
+near-linear folding on large trees, the rate-level WebWave round cost, and
+routing-tree extraction, so regressions in the hot paths are visible.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.tree import random_tree
+from repro.core.webfold import webfold
+from repro.core.webwave import WebWaveSimulator
+from repro.net.generators import waxman_topology
+from repro.net.routing import shortest_path_tree
+
+
+@pytest.mark.parametrize("n", [100, 1000, 10000])
+def test_bench_webfold(benchmark, n):
+    rng = random.Random(42)
+    tree = random_tree(n, rng)
+    rates = [rng.uniform(0, 100) for _ in range(n)]
+    result = benchmark(webfold, tree, rates)
+    assert result.assignment.total_served == pytest.approx(sum(rates), rel=1e-9)
+
+
+def test_bench_webwave_round(benchmark):
+    rng = random.Random(7)
+    tree = random_tree(2000, rng)
+    rates = [rng.uniform(0, 100) for _ in range(tree.n)]
+    sim = WebWaveSimulator(tree, rates)
+    benchmark(sim.step)
+
+
+def test_bench_routing_tree_extraction(benchmark):
+    topo = waxman_topology(300, random.Random(5))
+    tree = benchmark(shortest_path_tree, topo, 0)
+    assert tree.n == topo.n

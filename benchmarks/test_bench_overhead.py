@@ -1,0 +1,39 @@
+"""E-X5: control-message and packet-filter overhead.
+
+WebWave's overhead is local and periodic (gossip per edge per period, copy
+transfers on load shifts); the directory baseline pays at least one lookup
+per request, so its message count scales with request volume while
+WebWave's does not.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.overhead import run_overhead
+
+from conftest import run_once
+
+
+def test_bench_overhead(benchmark, save_report):
+    result = run_once(
+        benchmark,
+        run_overhead,
+        heights=(2, 3),
+        duration=30.0,
+        warmup=10.0,
+        capacity=25.0,
+    )
+    save_report("overhead", result.report())
+    by_size = {}
+    for row in result.rows:
+        by_size.setdefault(row.nodes, {})[row.protocol] = row
+    for nodes, rows in by_size.items():
+        directory = rows["directory"]
+        webwave = rows["webwave"]
+        # the directory pays >= 1 control message per request; WebWave's
+        # periodic gossip is amortized over many requests
+        assert directory.msgs_per_request >= 0.9
+        assert webwave.msgs_per_request < directory.msgs_per_request
+        # filter state exists only where copies exist
+        assert webwave.max_filter_entries >= 1
+        # no-cache has neither messages nor filters
+        assert rows["no_cache"].msgs_per_request == 0.0

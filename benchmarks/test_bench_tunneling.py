@@ -1,0 +1,40 @@
+"""E-X4: tunneling patience sweep and organic barrier frequency.
+
+On the Figure 7 wedge, every finite patience recovers (larger patience just
+waits longer before the fetch); across random workloads, tunneling activity
+varies with popularity skew while the protocol keeps converging.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tunneling import (
+    TunnelingResult,
+    run_patience_sweep,
+    run_skew_study,
+)
+
+from conftest import run_once
+
+
+def test_bench_patience_sweep(benchmark, save_report):
+    rows = run_once(benchmark, run_patience_sweep, patiences=(0, 1, 2, 4, 8))
+    save_report(
+        "tunneling_patience",
+        TunnelingResult(patience_rows=rows, skew_rows=()).report(),
+    )
+    assert all(r.converged for r in rows)
+    assert all(r.tunnel_fetches >= 1 for r in rows)
+    # larger patience defers recovery: rounds grow with the threshold
+    assert rows[-1].rounds >= rows[0].rounds
+
+
+def test_bench_skew_study(benchmark, save_report):
+    rows = run_once(
+        benchmark, run_skew_study, trials=5, n_nodes=20, n_docs=10, max_rounds=400
+    )
+    save_report(
+        "tunneling_skew",
+        TunnelingResult(patience_rows=(), skew_rows=rows).report(),
+    )
+    # the protocol keeps converging across skews
+    assert all(r.converged_fraction >= 0.6 for r in rows)

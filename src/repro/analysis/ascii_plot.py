@@ -1,0 +1,96 @@
+"""ASCII line plots.
+
+The paper's Figure 6b is a semi-log convergence plot; with no plotting
+dependencies available offline, the experiment harness renders figures as
+ASCII charts so the shape (exponential decay, crossovers between protocols)
+is still visible in terminal output and committed reports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["ascii_plot", "ascii_semilog"]
+
+_GLYPHS = "*+ox#@%&"
+
+
+def _scale(v: float, lo: float, hi: float, cells: int) -> int:
+    if hi <= lo:
+        return 0
+    return min(int((v - lo) / (hi - lo) * (cells - 1) + 0.5), cells - 1)
+
+
+def ascii_plot(
+    series: Sequence[Tuple[str, Sequence[float]]],
+    width: int = 72,
+    height: int = 20,
+    title: Optional[str] = None,
+    ylabel: str = "",
+) -> str:
+    """Plot one or more named series on a shared linear-scale canvas.
+
+    ``series`` is a list of ``(label, values)``; x is the sample index.
+    """
+    if not series:
+        return "(no data)"
+    all_vals = [v for _, vals in series for v in vals if math.isfinite(v)]
+    if not all_vals:
+        return "(no finite data)"
+    lo, hi = min(all_vals), max(all_vals)
+    if hi == lo:
+        hi = lo + 1.0
+    max_len = max(len(vals) for _, vals in series)
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, (_, vals) in enumerate(series):
+        glyph = _GLYPHS[s_idx % len(_GLYPHS)]
+        for i, v in enumerate(vals):
+            if not math.isfinite(v):
+                continue
+            x = _scale(i, 0, max(max_len - 1, 1), width)
+            y = height - 1 - _scale(v, lo, hi, height)
+            grid[y][x] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{hi:.4g}"
+    bottom_label = f"{lo:.4g}"
+    label_w = max(len(top_label), len(bottom_label), len(ylabel))
+    for y, row in enumerate(grid):
+        if y == 0:
+            prefix = top_label.rjust(label_w)
+        elif y == height - 1:
+            prefix = bottom_label.rjust(label_w)
+        elif y == height // 2 and ylabel:
+            prefix = ylabel.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {label}" for i, (label, _) in enumerate(series)
+    )
+    lines.append(" " * label_w + "   " + legend)
+    return "\n".join(lines)
+
+
+def ascii_semilog(
+    series: Sequence[Tuple[str, Sequence[float]]],
+    width: int = 72,
+    height: int = 20,
+    title: Optional[str] = None,
+    floor: float = 1e-12,
+) -> str:
+    """Plot series with a log10 y-axis (zeros clipped at ``floor``).
+
+    Exponential convergence appears as a straight line - the visual
+    signature of Figure 6b.
+    """
+    logged = [
+        (label, [math.log10(max(v, floor)) for v in vals]) for label, vals in series
+    ]
+    body = ascii_plot(logged, width=width, height=height, title=title, ylabel="log10")
+    return body

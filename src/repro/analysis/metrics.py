@@ -1,0 +1,106 @@
+"""Cross-protocol metric summaries.
+
+Bridges packet-level :class:`~repro.protocols.scenario.ScenarioMetrics` and
+rate-level results into the comparable rows the scalability and overhead
+benches print: throughput, response time, home-server share, load-balance
+quality (distance to the TLB optimum and Jain fairness), message overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.load import LoadAssignment
+
+__all__ = ["jain_fairness", "load_imbalance", "ProtocolSummary", "summarize_scenario"]
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index: 1 for perfectly equal, 1/n for one hot spot."""
+    xs = [float(v) for v in values]
+    n = len(xs)
+    if n == 0:
+        raise ValueError("need at least one value")
+    total = sum(xs)
+    squares = sum(x * x for x in xs)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (n * squares)
+
+
+def load_imbalance(assignment: LoadAssignment, target: LoadAssignment) -> float:
+    """Normalized distance to the TLB optimum: ``||L - L*|| / ||L*||``."""
+    denominator = math.sqrt(sum(x * x for x in target.served))
+    if denominator == 0:
+        return 0.0
+    return assignment.distance_to(target) / denominator
+
+
+@dataclass(frozen=True)
+class ProtocolSummary:
+    """One comparable row of the protocol-comparison tables."""
+
+    protocol: str
+    nodes: int
+    offered_rate: float
+    throughput: float
+    mean_response_time: float
+    p95_response_time: float
+    mean_hops: float
+    home_share: float
+    fairness: float
+    imbalance: float
+    messages: int
+
+    def as_row(self) -> List:
+        return [
+            self.protocol,
+            self.nodes,
+            round(self.offered_rate, 1),
+            round(self.throughput, 1),
+            round(self.mean_response_time * 1000, 1),
+            round(self.p95_response_time * 1000, 1),
+            round(self.mean_hops, 2),
+            round(self.home_share * 100, 1),
+            round(self.fairness, 3),
+            round(self.imbalance, 3),
+            self.messages,
+        ]
+
+    HEADERS = [
+        "protocol",
+        "n",
+        "offered/s",
+        "thr/s",
+        "rt_ms",
+        "p95_ms",
+        "hops",
+        "home%",
+        "jain",
+        "dist*",
+        "msgs",
+    ]
+
+
+def summarize_scenario(scenario, metrics) -> ProtocolSummary:
+    """Build a :class:`ProtocolSummary` from a finished scenario run."""
+    measured = scenario.measured_assignment()
+    target = scenario.tlb_target()
+    served_counts = [
+        metrics.served_by_node.get(i, 0) for i in scenario.tree
+    ]
+    return ProtocolSummary(
+        protocol=scenario.name,
+        nodes=scenario.tree.n,
+        offered_rate=scenario.workload.total_rate,
+        throughput=metrics.throughput,
+        mean_response_time=metrics.mean_response_time,
+        p95_response_time=metrics.response_time_percentile(95),
+        mean_hops=metrics.mean_hops,
+        home_share=metrics.home_share,
+        fairness=jain_fairness(served_counts) if any(served_counts) else 0.0,
+        imbalance=load_imbalance(measured, target),
+        messages=metrics.total_messages(),
+    )

@@ -1,0 +1,6 @@
+"""Cache substrate: stores, replacement policies, and cache servers."""
+
+from .server import CacheServer, RateMeter
+from .store import CacheError, CacheStore
+
+__all__ = ["CacheStore", "CacheError", "CacheServer", "RateMeter"]

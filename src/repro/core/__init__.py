@@ -1,0 +1,150 @@
+"""Core WebWave algorithms: the paper's primary contribution.
+
+This package contains everything Sections 2-5 of the paper define:
+
+* :mod:`repro.core.tree` - rooted routing trees;
+* :mod:`repro.core.load` - load assignments (``E``, ``L``, ``A``);
+* :mod:`repro.core.constraints` - Constraints 1-2 (root / NSS), LB, GLE, TLB;
+* :mod:`repro.core.webfold` - the provably optimal offline folding algorithm;
+* :mod:`repro.core.pava` - an independent TLB solver used for cross-checks;
+* :mod:`repro.core.diffusion` - Cybenko-style diffusion on general graphs;
+* :mod:`repro.core.webwave` - the distributed rate-level protocol (Figure 5);
+* :mod:`repro.core.barriers` - per-document protocol, barriers, tunneling;
+* :mod:`repro.core.convergence` - distance traces and the gamma regression.
+"""
+
+from .constraints import (
+    gle_feasible,
+    is_feasible,
+    is_gle,
+    is_tlb,
+    lex_compare,
+    lex_less,
+    satisfies_nss,
+    satisfies_root_constraint,
+)
+from .convergence import GammaFit, empirical_rate, fit_gamma, halving_time
+from .barriers import (
+    DocumentDemand,
+    DocumentWebWave,
+    DocumentWebWaveConfig,
+    TunnelEvent,
+    find_potential_barriers,
+)
+from .diffusion import (
+    DiffusionTrace,
+    Graph,
+    asynchronous_diffusion,
+    diffusion_matrix,
+    metropolis_weights,
+    spectral_gamma,
+    synchronous_diffusion,
+    uniform_weights,
+)
+from .async_webwave import AsyncResult, AsyncWebWave
+from .dynamics import (
+    RateSchedule,
+    TrackingResult,
+    flash_crowd_schedule,
+    random_walk_schedule,
+    resettle,
+    run_tracking,
+    step_change_schedule,
+)
+from .forest import ForestResult, ForestWebWave
+from .load import LoadAssignment, proportional_assignment, uniform_assignment
+from .weighted import (
+    WeightedFold,
+    WeightedFoldResult,
+    WeightedWebWaveSimulator,
+    weighted_webfold,
+)
+from .pava import WaterfillResult, tree_waterfill
+from .tree import (
+    RoutingTree,
+    TreeError,
+    chain_tree,
+    kary_tree,
+    random_tree,
+    random_tree_with_depth,
+    star_tree,
+    tree_from_edges,
+    tree_from_parent_map,
+)
+from .webfold import Fold, FoldResult, FoldStep, fold_partition, webfold
+from .webwave import WebWaveConfig, WebWaveResult, WebWaveSimulator, run_webwave
+
+__all__ = [
+    # tree
+    "RoutingTree",
+    "TreeError",
+    "chain_tree",
+    "star_tree",
+    "kary_tree",
+    "random_tree",
+    "random_tree_with_depth",
+    "tree_from_edges",
+    "tree_from_parent_map",
+    # load
+    "LoadAssignment",
+    "uniform_assignment",
+    "proportional_assignment",
+    # constraints
+    "satisfies_root_constraint",
+    "satisfies_nss",
+    "is_feasible",
+    "is_gle",
+    "gle_feasible",
+    "is_tlb",
+    "lex_less",
+    "lex_compare",
+    # webfold / pava
+    "Fold",
+    "FoldStep",
+    "FoldResult",
+    "webfold",
+    "fold_partition",
+    "tree_waterfill",
+    "WaterfillResult",
+    # webwave
+    "WebWaveConfig",
+    "WebWaveResult",
+    "WebWaveSimulator",
+    "run_webwave",
+    # diffusion
+    "Graph",
+    "metropolis_weights",
+    "uniform_weights",
+    "diffusion_matrix",
+    "spectral_gamma",
+    "synchronous_diffusion",
+    "asynchronous_diffusion",
+    "DiffusionTrace",
+    # barriers
+    "DocumentDemand",
+    "DocumentWebWave",
+    "DocumentWebWaveConfig",
+    "TunnelEvent",
+    "find_potential_barriers",
+    # convergence
+    "GammaFit",
+    "fit_gamma",
+    "empirical_rate",
+    "halving_time",
+    # extensions
+    "AsyncWebWave",
+    "AsyncResult",
+    "weighted_webfold",
+    "WeightedFold",
+    "WeightedFoldResult",
+    "WeightedWebWaveSimulator",
+    "RateSchedule",
+    "step_change_schedule",
+    "flash_crowd_schedule",
+    "random_walk_schedule",
+    "resettle",
+    "run_tracking",
+    "TrackingResult",
+    "ForestWebWave",
+    "ForestResult",
+]

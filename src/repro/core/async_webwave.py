@@ -1,0 +1,150 @@
+"""Asynchronous rate-level WebWave (extension).
+
+The paper's simulations are synchronous; real servers run their diffusion
+loops independently.  Bertsekas & Tsitsiklis [3] prove asynchronous
+diffusion converges provided communication delay is bounded - this module
+lets us check that the *tree-constrained, NSS-capped* variant behaves the
+same way.
+
+Each activation wakes a single node (chosen by the supplied RNG), which
+balances against its parent and children using load values it last heard
+via gossip (staleness drawn uniformly from ``0..max_staleness``
+activations).  Transfers follow Figure 5's caps exactly: pushes down are
+bounded by the child's forwarded rate, sheds up by the node's own served
+rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .load import LoadAssignment
+from .tree import RoutingTree
+from .webfold import webfold
+
+__all__ = ["AsyncWebWave", "AsyncResult"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class AsyncResult:
+    """Outcome of an asynchronous run.
+
+    ``activations`` counts single-node wake-ups (one synchronous round of
+    an n-node tree corresponds to roughly n activations).
+    """
+
+    converged: bool
+    activations: int
+    final: LoadAssignment
+    target: LoadAssignment
+    distances: List[float]
+
+
+class AsyncWebWave:
+    """Event-driven single-node activations with bounded-staleness views."""
+
+    def __init__(
+        self,
+        tree: RoutingTree,
+        spontaneous: Sequence[float],
+        rng,
+        alpha: Optional[float] = None,
+        max_staleness: int = 0,
+        initial_served: Optional[Sequence[float]] = None,
+    ) -> None:
+        if max_staleness < 0:
+            raise ValueError("max_staleness must be >= 0")
+        self._tree = tree
+        self._base = LoadAssignment(tree, spontaneous, initial_served)
+        self._rng = rng
+        self._alpha = alpha
+        self._staleness = max_staleness
+        self._loads = list(self._base.served)
+        # history ring of past load vectors for staleness sampling
+        self._history: List[List[float]] = [self._loads[:]]
+        self._activations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def activations(self) -> int:
+        return self._activations
+
+    def assignment(self) -> LoadAssignment:
+        return self._base.with_served(self._loads)
+
+    def _edge_alpha(self, a: int, b: int) -> float:
+        if self._alpha is not None:
+            return self._alpha
+        return min(
+            1.0 / (self._tree.degree(a) + 1), 1.0 / (self._tree.degree(b) + 1)
+        )
+
+    def _stale_view(self, node: int) -> float:
+        if self._staleness == 0:
+            return self._loads[node]
+        lag = self._rng.randrange(self._staleness + 1)
+        vector = self._history[max(len(self._history) - 1 - lag, 0)]
+        return vector[node]
+
+    # ------------------------------------------------------------------
+    def activate(self, node: Optional[int] = None) -> None:
+        """Wake one node and let it balance against its neighbourhood."""
+        tree = self._tree
+        loads = self._loads
+        if node is None:
+            node = self._rng.randrange(tree.n)
+        my_load = loads[node]
+
+        # current A values: the node observes its own children's forwarded
+        # rates directly (they are its own arrival stream), so these are
+        # exact even under gossip staleness
+        forwarded = self._base.with_served(loads).forwarded
+
+        for child in tree.children(node):
+            gap = my_load - self._stale_view(child)
+            if gap > _EPS:
+                transfer = min(
+                    forwarded[child], self._edge_alpha(node, child) * gap
+                )
+                loads[node] -= transfer
+                loads[child] += transfer
+                my_load = loads[node]
+        parent = tree.parent(node)
+        if parent is not None:
+            gap = my_load - self._stale_view(parent)
+            if gap > _EPS:
+                shed = min(my_load, self._edge_alpha(node, parent) * gap)
+                loads[node] -= shed
+                loads[parent] += shed
+
+        self._history.append(loads[:])
+        if len(self._history) > self._staleness + 1:
+            self._history.pop(0)
+        self._activations += 1
+
+    def run(
+        self,
+        max_activations: int = 200_000,
+        tolerance: float = 1e-5,
+        target: Optional[LoadAssignment] = None,
+        sample_every: int = 25,
+    ) -> AsyncResult:
+        """Activate random nodes until within tolerance of the TLB target."""
+        if target is None:
+            target = webfold(self._tree, self._base.spontaneous).assignment
+        distances = [self.assignment().distance_to(target)]
+        while distances[-1] > tolerance and self._activations < max_activations:
+            self.activate()
+            if self._activations % sample_every == 0:
+                distances.append(self.assignment().distance_to(target))
+        distances.append(self.assignment().distance_to(target))
+        return AsyncResult(
+            converged=distances[-1] <= tolerance,
+            activations=self._activations,
+            final=self.assignment(),
+            target=target,
+            distances=distances,
+        )

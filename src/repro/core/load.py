@@ -1,0 +1,236 @@
+"""Load assignments over a routing tree.
+
+Section 3 of the paper (Table 1, Figure 1) defines the quantities a load
+balancing algorithm manipulates:
+
+``E_i``
+    *Spontaneous request rate* generated at node ``i`` (by its own clients).
+``L_i``
+    Request rate *served* by node ``i``.
+``A_i``
+    Request rate node ``i`` *forwards to its parent*.  Flow conservation at
+    every node gives ``A_i = E_i + sum_{j in C_i} A_j - L_i``.
+
+A :class:`LoadAssignment` stores ``E`` and ``L`` for one tree and derives
+``A`` (and everything else) from them.  Assignments are value objects:
+algorithms return new assignments rather than mutating inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .tree import RoutingTree
+
+__all__ = ["LoadAssignment", "uniform_assignment", "proportional_assignment"]
+
+_EPS = 1e-9
+
+
+class LoadAssignment:
+    """Spontaneous rates ``E`` and served rates ``L`` over one routing tree.
+
+    Parameters
+    ----------
+    tree:
+        The routing tree the assignment lives on.
+    spontaneous:
+        ``E_i`` for every node; must be non-negative.
+    served:
+        ``L_i`` for every node; must be non-negative.  If omitted, each node
+        initially serves exactly its own spontaneous rate (``L = E``), which
+        is both the no-caching starting state used by the WebWave simulations
+        and trivially flow-feasible.
+    """
+
+    __slots__ = ("_tree", "_e", "_l", "_a")
+
+    def __init__(
+        self,
+        tree: RoutingTree,
+        spontaneous: Sequence[float],
+        served: Optional[Sequence[float]] = None,
+    ) -> None:
+        n = tree.n
+        if len(spontaneous) != n:
+            raise ValueError(f"expected {n} spontaneous rates, got {len(spontaneous)}")
+        e = tuple(float(x) for x in spontaneous)
+        for i, x in enumerate(e):
+            if x < 0 or not math.isfinite(x):
+                raise ValueError(f"spontaneous rate E[{i}]={x} must be finite and >= 0")
+        if served is None:
+            l = e
+        else:
+            if len(served) != n:
+                raise ValueError(f"expected {n} served rates, got {len(served)}")
+            l = tuple(float(x) for x in served)
+            for i, x in enumerate(l):
+                if x < -_EPS or not math.isfinite(x):
+                    raise ValueError(f"served rate L[{i}]={x} must be finite and >= 0")
+            l = tuple(max(x, 0.0) for x in l)
+        self._tree = tree
+        self._e = e
+        self._l = l
+        self._a: Optional[Tuple[float, ...]] = None
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def tree(self) -> RoutingTree:
+        """The routing tree this assignment is defined over."""
+        return self._tree
+
+    @property
+    def spontaneous(self) -> Tuple[float, ...]:
+        """``E_i`` for every node."""
+        return self._e
+
+    @property
+    def served(self) -> Tuple[float, ...]:
+        """``L_i`` for every node."""
+        return self._l
+
+    @property
+    def forwarded(self) -> Tuple[float, ...]:
+        """``A_i`` for every node, derived by flow conservation.
+
+        ``A_i = E_i + sum_{j in C_i} A_j - L_i`` computed in one bottom-up
+        pass.  ``A_i`` may be negative, which signals an *infeasible*
+        assignment (the subtree under ``i`` serves more than it generates,
+        violating NSS); validity predicates live in
+        :mod:`repro.core.constraints`.
+        """
+        if self._a is None:
+            tree = self._tree
+            a = [0.0] * tree.n
+            for u in tree.bottomup():
+                inflow = self._e[u] + sum(a[c] for c in tree.children(u))
+                a[u] = inflow - self._l[u]
+            self._a = tuple(a)
+        return self._a
+
+    def spontaneous_of(self, i: int) -> float:
+        """``E_i``."""
+        return self._e[i]
+
+    def served_of(self, i: int) -> float:
+        """``L_i``."""
+        return self._l[i]
+
+    def forwarded_of(self, i: int) -> float:
+        """``A_i``."""
+        return self.forwarded[i]
+
+    def arrival_of(self, i: int) -> float:
+        """Total rate arriving at ``i``: ``E_i + sum_{j in C_i} A_j``.
+
+        This is the rate flowing *through* node ``i`` (Figure 1); the node
+        serves ``L_i`` of it and forwards ``A_i``.
+        """
+        return self._e[i] + sum(self.forwarded[c] for c in self._tree.children(i))
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total_spontaneous(self) -> float:
+        """System-wide offered rate ``sum E_i``."""
+        return sum(self._e)
+
+    @property
+    def total_served(self) -> float:
+        """System-wide served rate ``sum L_i``."""
+        return sum(self._l)
+
+    @property
+    def mean_spontaneous(self) -> float:
+        """The Global Load Equality target ``sum E_i / n``."""
+        return self.total_spontaneous / self._tree.n
+
+    @property
+    def max_served(self) -> float:
+        """``L_max``, the quantity Definition 1 minimizes."""
+        return max(self._l)
+
+    def sorted_descending(self) -> Tuple[float, ...]:
+        """Served loads sorted descending (the LB lexicographic objective)."""
+        return tuple(sorted(self._l, reverse=True))
+
+    def subtree_spontaneous(self) -> List[float]:
+        """For each node, total spontaneous rate generated in its subtree."""
+        return self._tree.subtree_sums(self._e)
+
+    def subtree_served(self) -> List[float]:
+        """For each node, total rate served within its subtree."""
+        return self._tree.subtree_sums(self._l)
+
+    # ------------------------------------------------------------------
+    # Derived assignments
+    # ------------------------------------------------------------------
+    def with_served(self, served: Sequence[float]) -> "LoadAssignment":
+        """A new assignment with the same tree and ``E`` but different ``L``."""
+        return LoadAssignment(self._tree, self._e, served)
+
+    def distance_to(self, other: "LoadAssignment") -> float:
+        """Euclidean distance between the two served-load vectors.
+
+        Following Cybenko [11] and Section 5.1 of the paper, this is the
+        convergence metric: on every iteration we compute the distance
+        between the current load assignment and the TLB one.
+        """
+        if other._tree.n != self._tree.n:
+            raise ValueError("assignments live on different-size trees")
+        return math.sqrt(sum((a - b) ** 2 for a, b in zip(self._l, other._l)))
+
+    # ------------------------------------------------------------------
+    # Dunder / utility
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LoadAssignment):
+            return NotImplemented
+        return self._tree == other._tree and self._e == other._e and self._l == other._l
+
+    def __hash__(self) -> int:
+        return hash((self._tree, self._e, self._l))
+
+    def __repr__(self) -> str:
+        return (
+            f"LoadAssignment(n={self._tree.n}, total_E={self.total_spontaneous:.6g}, "
+            f"L_max={self.max_served:.6g})"
+        )
+
+    def almost_equal(self, other: "LoadAssignment", tol: float = 1e-6) -> bool:
+        """True iff the served vectors agree within ``tol`` per node."""
+        return self._tree == other._tree and all(
+            abs(a - b) <= tol for a, b in zip(self._l, other._l)
+        )
+
+    def as_dict(self) -> Dict[str, Tuple[float, ...]]:
+        """Serializable view: spontaneous / served / forwarded vectors."""
+        return {
+            "spontaneous": self._e,
+            "served": self._l,
+            "forwarded": self.forwarded,
+        }
+
+    def render(self) -> str:
+        """ASCII tree annotated with ``E``, ``L`` and ``A`` per node."""
+        return self._tree.render(
+            lambda i: f"E={self._e[i]:g} L={self._l[i]:g} A={self.forwarded[i]:g}"
+        )
+
+
+def uniform_assignment(tree: RoutingTree, rate: float) -> LoadAssignment:
+    """Every node spontaneously generates (and initially serves) ``rate``."""
+    return LoadAssignment(tree, [rate] * tree.n)
+
+
+def proportional_assignment(tree: RoutingTree, weights: Sequence[float], total: float) -> LoadAssignment:
+    """Spontaneous rates proportional to ``weights`` summing to ``total``."""
+    s = float(sum(weights))
+    if s <= 0:
+        raise ValueError("weights must have a positive sum")
+    e = [total * float(w) / s for w in weights]
+    return LoadAssignment(tree, e)

@@ -1,0 +1,286 @@
+"""WebWave: the fully distributed diffusion protocol, rate level (Section 5).
+
+This is the synchronous "fluid" simulator matching the assumptions of the
+paper's convergence study (Section 5.1): negligible communication delay
+(optionally relaxed via ``gossip_delay``), arbitrarily divisible load
+(optionally quantized via ``quantum``), uniform server capacity, constant
+spontaneous request rates.
+
+Each round, every server ``i`` runs the loop of Figure 5 against its tree
+neighbours:
+
+* toward each **child** ``j``, it may shift *down* at most
+  ``min(A_j, alpha * (L_i - L_ij))`` - the NSS cap: a parent can only
+  relegate to a child requests that the child's subtree itself forwards;
+* toward its **parent** ``k``, it may shed *up* at most
+  ``min(L_i, alpha * (L_i - L_ik))`` - a node cannot serve a negative rate,
+  and moving load toward the root never violates NSS.
+
+With the default ``alpha_i = 1 / (deg_i + 1)`` (edge coefficient
+``min(alpha_i, alpha_j)``) the update is a doubly stochastic diffusion and
+satisfies Cybenko's sufficient conditions, so when the spontaneous pattern
+admits a GLE assignment WebWave provably converges; in general it converges
+to the TLB assignment computed by WebFold, which the simulations in
+``benchmarks/`` demonstrate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .load import LoadAssignment
+from .tree import RoutingTree
+from .webfold import webfold
+
+__all__ = ["WebWaveConfig", "WebWaveResult", "WebWaveSimulator", "run_webwave"]
+
+
+@dataclass(frozen=True)
+class WebWaveConfig:
+    """Tunables of the rate-level WebWave simulation.
+
+    Attributes
+    ----------
+    alpha:
+        Diffusion parameter.  ``None`` selects the paper's default
+        ``alpha_i = 1/(deg_i + 1)`` per node; a float applies one value to
+        every node (it is then capped per-edge at ``1/(max_deg_endpoint+1)``
+        unless ``unsafe_alpha`` is set, so that loads stay non-negative).
+    gossip_delay:
+        Number of rounds by which each node's view of its neighbours' loads
+        lags reality.  ``0`` reproduces the paper's instantaneous-exchange
+        assumption (``L_ik = L_k``).
+    quantum:
+        If positive, transfers are rounded down to multiples of this value,
+        modelling the paper's observation that real load moves in units of
+        one request ("the load balance may be off by the load represented by
+        one request").
+    max_rounds:
+        Hard iteration cap.
+    tolerance:
+        Convergence threshold on the Euclidean distance to the target.
+    unsafe_alpha:
+        Skip the per-edge safety cap (used by the ablation study to show
+        why the cap matters).
+    """
+
+    alpha: Optional[float] = None
+    gossip_delay: int = 0
+    quantum: float = 0.0
+    max_rounds: int = 10_000
+    tolerance: float = 1e-6
+    unsafe_alpha: bool = False
+
+    def __post_init__(self) -> None:
+        if self.alpha is not None and not 0.0 < self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha}")
+        if self.gossip_delay < 0:
+            raise ValueError("gossip_delay must be >= 0")
+        if self.quantum < 0:
+            raise ValueError("quantum must be >= 0")
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+
+
+@dataclass
+class WebWaveResult:
+    """Outcome of a WebWave run.
+
+    Attributes
+    ----------
+    converged:
+        Whether the distance to target dropped below tolerance.
+    rounds:
+        Number of diffusion rounds executed.
+    final:
+        The final load assignment.
+    target:
+        The TLB assignment the run was measured against.
+    distances:
+        Euclidean distance to the target after every round (index 0 is the
+        distance *before* the first round), the series plotted in Figure 6b.
+    history:
+        Optional per-round served-load vectors (only if recorded).
+    """
+
+    converged: bool
+    rounds: int
+    final: LoadAssignment
+    target: LoadAssignment
+    distances: List[float]
+    history: Optional[List[Tuple[float, ...]]] = None
+
+    @property
+    def initial_distance(self) -> float:
+        return self.distances[0]
+
+    @property
+    def final_distance(self) -> float:
+        return self.distances[-1]
+
+
+class WebWaveSimulator:
+    """Synchronous rate-level WebWave on one routing tree.
+
+    The simulator owns mutable per-round state (current loads and the gossip
+    history) and exposes :meth:`step` / :meth:`run` drivers.  Constructing a
+    simulator never mutates its inputs.
+    """
+
+    def __init__(
+        self,
+        tree: RoutingTree,
+        spontaneous: Sequence[float],
+        config: Optional[WebWaveConfig] = None,
+        initial_served: Optional[Sequence[float]] = None,
+    ) -> None:
+        self._tree = tree
+        self._config = config or WebWaveConfig()
+        self._base = LoadAssignment(tree, spontaneous, initial_served)
+        self._loads = list(self._base.served)
+        # Gossip ring buffer: _history[0] is the most recent published state.
+        self._history: List[List[float]] = [self._loads[:]]
+        self._round = 0
+        self._edge_alpha = self._compute_edge_alphas()
+
+    # ------------------------------------------------------------------
+    def _compute_edge_alphas(self) -> Dict[Tuple[int, int], float]:
+        """Per-edge diffusion coefficient, keyed by (parent, child)."""
+        cfg = self._config
+        tree = self._tree
+        alphas: Dict[Tuple[int, int], float] = {}
+        for child in tree:
+            parent = tree.parent(child)
+            if parent is None:
+                continue
+            if cfg.alpha is None:
+                a = min(
+                    1.0 / (tree.degree(parent) + 1),
+                    1.0 / (tree.degree(child) + 1),
+                )
+            elif cfg.unsafe_alpha:
+                a = cfg.alpha
+            else:
+                cap = 1.0 / (max(tree.degree(parent), tree.degree(child)) + 1)
+                a = min(cfg.alpha, cap)
+            alphas[(parent, child)] = a
+        return alphas
+
+    # ------------------------------------------------------------------
+    @property
+    def tree(self) -> RoutingTree:
+        return self._tree
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    def assignment(self) -> LoadAssignment:
+        """The current load assignment."""
+        return self._base.with_served(self._loads)
+
+    def _estimate(self, viewer: int, neighbor: int) -> float:
+        """``L_{viewer,neighbor}``: viewer's possibly stale view of neighbor.
+
+        With ``gossip_delay = d`` the viewer sees the load the neighbour
+        published ``d`` rounds ago (clamped to the initial state early on).
+        """
+        d = self._config.gossip_delay
+        idx = min(d, len(self._history) - 1)
+        return self._history[idx][neighbor]
+
+    def _quantize(self, x: float) -> float:
+        q = self._config.quantum
+        if q <= 0:
+            return x
+        return math.floor(x / q) * q
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Execute one synchronous diffusion round (Figure 5).
+
+        All transfers are computed from the start-of-round snapshot, then
+        applied atomically, so total served load is conserved exactly and
+        every ``A_i`` stays non-negative (the ``min(A_j, .)`` cap is taken
+        against snapshot values, and each edge transfer only affects the
+        ``A`` of its child endpoint).
+        """
+        tree = self._tree
+        loads = self._loads
+        snapshot = self._base.with_served(loads)
+        forwarded = snapshot.forwarded
+
+        # Net transfer on each (parent, child) edge; positive means the
+        # parent relegates load down to the child.
+        delta = [0.0] * tree.n  # accumulated change per node
+        for (parent, child), alpha in self._edge_alpha.items():
+            # Parent-side decision: push down, capped by NSS (A_child).
+            # A_child can be transiently negative when spontaneous rates
+            # just dropped (see repro.core.dynamics); never push then.
+            down = alpha * (loads[parent] - self._estimate(parent, child))
+            down = min(max(forwarded[child], 0.0), max(down, 0.0))
+            # Child-side decision: shed up, capped by what it serves.
+            up = alpha * (loads[child] - self._estimate(child, parent))
+            up = min(loads[child], max(up, 0.0))
+            transfer = self._quantize(down) - self._quantize(up)
+            delta[parent] -= transfer
+            delta[child] += transfer
+
+        for i in range(tree.n):
+            loads[i] = max(loads[i] + delta[i], 0.0)
+
+        self._history.insert(0, loads[:])
+        max_keep = self._config.gossip_delay + 1
+        del self._history[max_keep:]
+        self._round += 1
+
+    def run(
+        self,
+        target: Optional[LoadAssignment] = None,
+        record_history: bool = False,
+        max_rounds: Optional[int] = None,
+    ) -> WebWaveResult:
+        """Iterate until the distance to ``target`` falls below tolerance.
+
+        ``target`` defaults to the TLB assignment computed by WebFold on the
+        same tree and spontaneous rates - the paper's convergence criterion.
+        """
+        cfg = self._config
+        if target is None:
+            target = webfold(self._tree, self._base.spontaneous).assignment
+        limit = max_rounds if max_rounds is not None else cfg.max_rounds
+
+        distances = [self.assignment().distance_to(target)]
+        history: Optional[List[Tuple[float, ...]]] = (
+            [tuple(self._loads)] if record_history else None
+        )
+        converged = distances[-1] <= cfg.tolerance
+        while not converged and self._round < limit:
+            self.step()
+            distances.append(self.assignment().distance_to(target))
+            if history is not None:
+                history.append(tuple(self._loads))
+            converged = distances[-1] <= cfg.tolerance
+
+        return WebWaveResult(
+            converged=converged,
+            rounds=self._round,
+            final=self.assignment(),
+            target=target,
+            distances=distances,
+            history=history,
+        )
+
+
+def run_webwave(
+    tree: RoutingTree,
+    spontaneous: Sequence[float],
+    config: Optional[WebWaveConfig] = None,
+    initial_served: Optional[Sequence[float]] = None,
+    record_history: bool = False,
+) -> WebWaveResult:
+    """One-call driver: build a simulator and run it to convergence."""
+    sim = WebWaveSimulator(tree, spontaneous, config, initial_served)
+    return sim.run(record_history=record_history)

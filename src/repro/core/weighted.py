@@ -1,0 +1,315 @@
+"""Capacity-weighted tree load balance (extension).
+
+The paper models all servers "with uniform capacity" (Section 5.1).  A
+natural production requirement is heterogeneous servers: minimizing the
+maximum *utilization* ``L_i / C_i`` instead of the maximum load.  The whole
+folding theory generalizes cleanly:
+
+* a fold's *intensity* is ``(sum of spontaneous rates) / (sum of member
+  capacities)``;
+* fold ``j`` is foldable into its parent fold ``i`` iff ``j``'s intensity
+  exceeds ``i``'s;
+* within a fold, each member serves ``intensity * C_member``.
+
+With all capacities equal this reduces exactly to WebFold (verified by the
+test-suite), and all structural lemmas carry over: utilizations are
+monotone non-increasing from root to leaves, no load crosses fold
+boundaries, NSS holds.  :func:`weighted_webwave_step` gives the matching
+diffusion rule (equalize utilization, not load, between neighbours).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .load import LoadAssignment
+from .tree import RoutingTree
+
+__all__ = [
+    "WeightedFold",
+    "WeightedFoldResult",
+    "weighted_webfold",
+    "WeightedWebWaveSimulator",
+]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class WeightedFold:
+    """One fold of the capacity-weighted folded tree."""
+
+    root: int
+    members: Tuple[int, ...]
+    spontaneous: float
+    capacity: float
+
+    @property
+    def intensity(self) -> float:
+        """Common utilization of every member: rate per unit capacity."""
+        return self.spontaneous / self.capacity
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+class WeightedFoldResult:
+    """Output of :func:`weighted_webfold`."""
+
+    __slots__ = ("_tree", "_folds", "_fold_of", "_assignment", "_capacities")
+
+    def __init__(
+        self,
+        tree: RoutingTree,
+        folds: Dict[int, WeightedFold],
+        fold_of: Sequence[int],
+        assignment: LoadAssignment,
+        capacities: Tuple[float, ...],
+    ) -> None:
+        self._tree = tree
+        self._folds = folds
+        self._fold_of = tuple(fold_of)
+        self._assignment = assignment
+        self._capacities = capacities
+
+    @property
+    def tree(self) -> RoutingTree:
+        return self._tree
+
+    @property
+    def folds(self) -> Dict[int, WeightedFold]:
+        return dict(self._folds)
+
+    @property
+    def assignment(self) -> LoadAssignment:
+        """Per-node loads ``intensity(fold) * C_node``."""
+        return self._assignment
+
+    @property
+    def capacities(self) -> Tuple[float, ...]:
+        return self._capacities
+
+    def fold_of(self, node: int) -> WeightedFold:
+        return self._folds[self._fold_of[node]]
+
+    @property
+    def num_folds(self) -> int:
+        return len(self._folds)
+
+    def utilizations(self) -> Tuple[float, ...]:
+        """Per-node utilization ``L_i / C_i`` (constant within a fold)."""
+        return tuple(
+            l / c for l, c in zip(self._assignment.served, self._capacities)
+        )
+
+    @property
+    def max_utilization(self) -> float:
+        """The minimized objective."""
+        return max(self.utilizations())
+
+
+def weighted_webfold(
+    tree: RoutingTree,
+    spontaneous: Sequence[float],
+    capacities: Sequence[float],
+) -> WeightedFoldResult:
+    """Capacity-weighted WebFold: minimize the lexicographic utilization.
+
+    Parameters
+    ----------
+    tree, spontaneous:
+        As in :func:`repro.core.webfold.webfold`.
+    capacities:
+        Positive service capacity per node; loads are assigned in
+        proportion to capacity within each fold.
+    """
+    base = LoadAssignment(tree, spontaneous)
+    n = tree.n
+    caps = [float(c) for c in capacities]
+    if len(caps) != n:
+        raise ValueError(f"expected {n} capacities, got {len(caps)}")
+    for i, c in enumerate(caps):
+        if c <= 0:
+            raise ValueError(f"capacity C[{i}]={c} must be positive")
+
+    alive = [True] * n
+    members: List[List[int]] = [[i] for i in range(n)]
+    esum = [float(e) for e in spontaneous]
+    csum = caps[:]
+    children: List[set] = [set(tree.children(i)) for i in range(n)]
+    fold_parent = [tree.parent_map[i] for i in range(n)]
+    version = [0] * n
+
+    def intensity(r: int) -> float:
+        return esum[r] / csum[r]
+
+    heap: List[Tuple[float, int, int]] = []
+
+    def push(r: int) -> None:
+        heapq.heappush(heap, (-intensity(r), r, version[r]))
+
+    for i in range(n):
+        if i != tree.root:
+            push(i)
+
+    while heap:
+        neg, j, ver = heapq.heappop(heap)
+        if not alive[j] or ver != version[j] or j == tree.root:
+            continue
+        i = fold_parent[j]
+        if not intensity(j) > intensity(i):
+            continue
+        alive[j] = False
+        version[j] += 1
+        if len(members[j]) > len(members[i]):
+            members[i], members[j] = members[j], members[i]
+        members[i].extend(members[j])
+        members[j] = []
+        esum[i] += esum[j]
+        csum[i] += csum[j]
+        children[i].discard(j)
+        kids = children[j]
+        children[j] = set()
+        for c in kids:
+            fold_parent[c] = i
+            push(c)
+        if len(kids) > len(children[i]):
+            kids, children[i] = children[i], kids
+        children[i].update(kids)
+        version[i] += 1
+        if i != tree.root:
+            push(i)
+
+    folds: Dict[int, WeightedFold] = {}
+    fold_of = [0] * n
+    loads = [0.0] * n
+    for r in range(n):
+        if alive[r]:
+            fold = WeightedFold(
+                root=r,
+                members=tuple(sorted(members[r])),
+                spontaneous=esum[r],
+                capacity=csum[r],
+            )
+            folds[r] = fold
+            for m in fold.members:
+                fold_of[m] = r
+                loads[m] = fold.intensity * caps[m]
+
+    return WeightedFoldResult(
+        tree, folds, fold_of, base.with_served(loads), tuple(caps)
+    )
+
+
+class WeightedWebWaveSimulator:
+    """Rate-level diffusion that equalizes *utilization* between neighbours.
+
+    The Figure 5 update with ``L`` replaced by ``L / C``: a parent hotter
+    (in utilization) than a child pushes down up to ``A_child``, a hotter
+    child sheds up; transfer magnitudes scale with the smaller endpoint
+    capacity so the iteration stays stable.
+    """
+
+    def __init__(
+        self,
+        tree: RoutingTree,
+        spontaneous: Sequence[float],
+        capacities: Sequence[float],
+        alpha: Optional[float] = None,
+        initial_served: Optional[Sequence[float]] = None,
+    ) -> None:
+        self._tree = tree
+        self._base = LoadAssignment(tree, spontaneous, initial_served)
+        self._caps = [float(c) for c in capacities]
+        if len(self._caps) != tree.n:
+            raise ValueError(f"expected {tree.n} capacities")
+        if any(c <= 0 for c in self._caps):
+            raise ValueError("capacities must be positive")
+        self._loads = list(self._base.served)
+        self._alpha = alpha
+        self._round = 0
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    def assignment(self) -> LoadAssignment:
+        return self._base.with_served(self._loads)
+
+    def utilizations(self) -> List[float]:
+        return [l / c for l, c in zip(self._loads, self._caps)]
+
+    def _edge_alpha(self, a: int, b: int) -> float:
+        if self._alpha is not None:
+            return self._alpha
+        return min(
+            1.0 / (self._tree.degree(a) + 1), 1.0 / (self._tree.degree(b) + 1)
+        )
+
+    def step(self) -> None:
+        """One synchronous utilization-equalizing round."""
+        tree = self._tree
+        loads = self._loads
+        caps = self._caps
+        snapshot = self._base.with_served(loads)
+        forwarded = snapshot.forwarded
+        delta = [0.0] * tree.n
+        for child in tree:
+            parent = tree.parent(child)
+            if parent is None:
+                continue
+            alpha = self._edge_alpha(parent, child)
+            u_p = loads[parent] / caps[parent]
+            u_c = loads[child] / caps[child]
+            # the smaller endpoint capacity bounds the per-round utilization
+            # change at BOTH endpoints by alpha * (u_p - u_c), which keeps
+            # the iteration stable for alpha <= 1/(deg+1)
+            c_edge = min(caps[parent], caps[child])
+            if u_p > u_c:
+                down = min(forwarded[child], alpha * (u_p - u_c) * c_edge)
+                delta[parent] -= down
+                delta[child] += down
+            elif u_c > u_p:
+                up = min(loads[child], alpha * (u_c - u_p) * c_edge)
+                delta[child] -= up
+                delta[parent] += up
+        for i in tree:
+            loads[i] = max(loads[i] + delta[i], 0.0)
+        self._round += 1
+
+    def run(
+        self,
+        max_rounds: int = 10_000,
+        tolerance: float = 1e-6,
+        target: Optional[LoadAssignment] = None,
+    ) -> "WeightedRunResult":
+        """Iterate to the weighted-TLB target; returns distances per round."""
+        if target is None:
+            target = weighted_webfold(
+                self._tree, self._base.spontaneous, self._caps
+            ).assignment
+        distances = [self.assignment().distance_to(target)]
+        while distances[-1] > tolerance and self._round < max_rounds:
+            self.step()
+            distances.append(self.assignment().distance_to(target))
+        return WeightedRunResult(
+            converged=distances[-1] <= tolerance,
+            rounds=self._round,
+            final=self.assignment(),
+            target=target,
+            distances=distances,
+        )
+
+
+@dataclass(frozen=True)
+class WeightedRunResult:
+    """Outcome of a weighted WebWave run."""
+
+    converged: bool
+    rounds: int
+    final: LoadAssignment
+    target: LoadAssignment
+    distances: List[float]

@@ -1,0 +1,88 @@
+"""Document popularity models.
+
+Web document popularity is famously heavy-tailed: a few "hot published
+documents" (the paper's title) draw most requests.  Crovella & Bestavros
+[10], cited by the paper, document Zipf-like popularity as one driver of
+self-similar web traffic.  :class:`ZipfPopularity` is the standard model:
+the k-th most popular of ``n`` documents receives weight ``1 / k**s``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["zipf_weights", "uniform_popularity", "ZipfPopularity"]
+
+
+def zipf_weights(n: int, s: float = 1.0) -> List[float]:
+    """Normalized Zipf weights for ranks ``1..n`` with exponent ``s``."""
+    if n < 1:
+        raise ValueError("need n >= 1")
+    if s < 0:
+        raise ValueError("Zipf exponent must be >= 0")
+    raw = [1.0 / (k**s) for k in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def uniform_popularity(n: int) -> List[float]:
+    """Every document equally popular (Zipf with ``s = 0``)."""
+    return zipf_weights(n, 0.0)
+
+
+class ZipfPopularity:
+    """Sampling and weighting helper over a ranked document list.
+
+    Parameters
+    ----------
+    doc_ids:
+        Documents in *rank order*: ``doc_ids[0]`` is the hottest.
+    s:
+        Zipf exponent; web measurements typically find ``0.6 - 1.0``.
+    """
+
+    def __init__(self, doc_ids: Sequence[str], s: float = 1.0) -> None:
+        if not doc_ids:
+            raise ValueError("need at least one document")
+        self._ids = tuple(doc_ids)
+        self._weights = zipf_weights(len(doc_ids), s)
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for w in self._weights:
+            acc += w
+            self._cumulative.append(acc)
+        self._cumulative[-1] = 1.0
+        self._s = s
+
+    @property
+    def doc_ids(self) -> Tuple[str, ...]:
+        return self._ids
+
+    @property
+    def s(self) -> float:
+        return self._s
+
+    def weight(self, doc_id: str) -> float:
+        """Fraction of requests aimed at ``doc_id``."""
+        try:
+            return self._weights[self._ids.index(doc_id)]
+        except ValueError:
+            raise KeyError(f"unknown document {doc_id!r}") from None
+
+    def weights(self) -> Tuple[float, ...]:
+        """All weights in rank order (sums to 1)."""
+        return tuple(self._weights)
+
+    def sample(self, rng) -> str:
+        """Draw one document id with Zipf probability."""
+        import bisect
+
+        u = rng.random()
+        idx = bisect.bisect_left(self._cumulative, u)
+        return self._ids[min(idx, len(self._ids) - 1)]
+
+    def split_rate(self, total_rate: float) -> List[Tuple[str, float]]:
+        """Split an aggregate request rate into per-document rates."""
+        if total_rate < 0:
+            raise ValueError("rate must be >= 0")
+        return [(d, total_rate * w) for d, w in zip(self._ids, self._weights)]

@@ -1,0 +1,70 @@
+"""Experiment E-F4 - Figure 4: WebFold in action.
+
+Reproduces the complete folding sequence from start to finish on a tree
+whose rates force several fold patterns, ending (as the paper's caption
+notes) in a TLB assignment that is not GLE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..analysis.tables import format_table
+from ..core.constraints import is_gle
+from ..core.webfold import FoldResult, FoldStep, webfold
+from .paper_trees import fig4_rates, fig4_tree
+
+__all__ = ["Fig4Result", "run_fig4"]
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """The folding trace and final partition for Figure 4."""
+
+    trace: Tuple[FoldStep, ...]
+    folds: Dict[int, Tuple[int, ...]]
+    loads: Tuple[float, ...]
+    is_gle: bool
+    rendered_tree: str
+
+    def report(self) -> str:
+        rows = [
+            [
+                step.index,
+                step.folded,
+                step.into,
+                step.folded_load,
+                step.into_load,
+                step.merged_load,
+                step.merged_size,
+            ]
+            for step in self.trace
+        ]
+        table = format_table(
+            ["step", "fold j", "into i", "load(j)", "load(i)", "merged", "|F|"],
+            rows,
+            precision=2,
+            title="Figure 4: complete WebFold folding sequence",
+        )
+        folds = "\n".join(
+            f"  fold {root}: members {members} at load {self.loads[root]:g}"
+            for root, members in sorted(self.folds.items())
+        )
+        return (
+            f"{table}\n\nFinal folds:\n{folds}\n"
+            f"TLB assignment is GLE: {self.is_gle}\n\n{self.rendered_tree}"
+        )
+
+
+def run_fig4() -> Fig4Result:
+    """Run WebFold on the Figure 4 tree and capture its trace."""
+    tree = fig4_tree()
+    result: FoldResult = webfold(tree, fig4_rates())
+    return Fig4Result(
+        trace=result.trace,
+        folds={root: fold.members for root, fold in result.folds.items()},
+        loads=result.assignment.served,
+        is_gle=is_gle(result.assignment),
+        rendered_tree=result.render(),
+    )

@@ -1,0 +1,116 @@
+"""Experiment E-X5 - protocol overhead.
+
+Section 7 promises to measure WebWave's "effects on network traffic"; the
+introduction's scalability argument is that gossip + en-route filtering
+costs stay *local* (per-edge, per-period) while a directory's costs funnel
+through one service.  This experiment quantifies both on the packet-level
+simulator: control messages per served request, router filter-table sizes,
+and total router CPU time spent classifying packets (at the DPF-measured
+1.51 microseconds per packet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.tables import format_table
+from ..protocols.scenario import Scenario, ScenarioConfig
+from .scalability import PROTOCOLS, hotspot_workload
+
+__all__ = ["OverheadRow", "OverheadResult", "run_overhead"]
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """Message and filter accounting for one protocol at one size."""
+
+    protocol: str
+    nodes: int
+    served: int
+    messages: Dict[str, int]
+    msgs_per_request: float
+    max_filter_entries: int
+    total_filter_entries: int
+    filter_cpu_seconds: float
+
+    def flat(self) -> List:
+        return [
+            self.protocol,
+            self.nodes,
+            self.served,
+            sum(self.messages.values()),
+            round(self.msgs_per_request, 3),
+            self.max_filter_entries,
+            self.total_filter_entries,
+            round(self.filter_cpu_seconds * 1000, 3),
+        ]
+
+
+@dataclass(frozen=True)
+class OverheadResult:
+    rows: Tuple[OverheadRow, ...]
+
+    def report(self) -> str:
+        table = format_table(
+            [
+                "protocol",
+                "n",
+                "served",
+                "ctrl msgs",
+                "msgs/req",
+                "max filt",
+                "tot filt",
+                "filt CPU ms",
+            ],
+            [r.flat() for r in self.rows],
+            title="Protocol overhead (E-X5)",
+        )
+        details = []
+        for r in self.rows:
+            if r.messages:
+                breakdown = ", ".join(
+                    f"{k}={v}" for k, v in sorted(r.messages.items())
+                )
+                details.append(f"  {r.protocol} (n={r.nodes}): {breakdown}")
+        return table + ("\n\nMessage breakdown:\n" + "\n".join(details) if details else "")
+
+
+def run_overhead(
+    heights: Sequence[int] = (2, 3, 4),
+    protocols: Optional[Sequence[str]] = None,
+    duration: float = 40.0,
+    warmup: float = 10.0,
+    capacity: float = 25.0,
+    seed: int = 0,
+) -> OverheadResult:
+    """Measure control-message and filter overhead per protocol and size."""
+    chosen = protocols or tuple(PROTOCOLS)
+    rows: List[OverheadRow] = []
+    for height in heights:
+        workload = hotspot_workload(height)
+        config = ScenarioConfig(
+            duration=duration, warmup=warmup, seed=seed, default_capacity=capacity
+        )
+        for name in chosen:
+            scenario: Scenario = PROTOCOLS[name](workload, config)
+            metrics = scenario.run()
+            filter_sizes = [len(r.filters) for r in scenario.routers]
+            consultations = sum(r.filters.consultations for r in scenario.routers)
+            cpu = consultations * scenario.config.filter_match_cost
+            served = metrics.completed
+            rows.append(
+                OverheadRow(
+                    protocol=name,
+                    nodes=scenario.tree.n,
+                    served=served,
+                    messages=dict(metrics.messages),
+                    msgs_per_request=(
+                        metrics.total_messages() / served if served else 0.0
+                    ),
+                    max_filter_entries=max(filter_sizes),
+                    total_filter_entries=sum(filter_sizes),
+                    filter_cpu_seconds=cpu,
+                )
+            )
+    return OverheadResult(rows=tuple(rows))

@@ -1,0 +1,98 @@
+"""Experiment registry and command-line runner.
+
+``webwave-experiments list`` shows every experiment; ``webwave-experiments
+run <id> [...]`` executes them and prints the paper-style report.  Each
+experiment id matches the per-experiment index in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Tuple
+
+from .ablation import run_alpha_ablation, run_delay_ablation
+from .diffusion_theory import run_diffusion_theory
+from .extensions import (
+    run_async_study,
+    run_cache_capacity_study,
+    run_dynamics_study,
+    run_forest_study,
+    run_weighted_study,
+)
+from .fig2 import run_fig2
+from .fig4 import run_fig4
+from .fig6 import run_fig6
+from .fig7 import run_fig7
+from .gamma import run_gamma_study
+from .overhead import run_overhead
+from .scalability import run_scalability
+from .tunneling import run_tunneling_study
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+# id -> (description, zero-arg callable returning an object with .report())
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[], object]]] = {
+    "fig2": ("Figure 2: TLB vs GLE on two rate patterns", run_fig2),
+    "fig4": ("Figure 4: complete WebFold folding sequence", run_fig4),
+    "fig6": ("Figure 6: WebWave convergence to TLB (a: folds, b: distance)", run_fig6),
+    "fig7": ("Figure 7: potential barrier and tunneling recovery", run_fig7),
+    "gamma": ("Section 5.1: gamma regression on depth-9 random trees", run_gamma_study),
+    "scalability": ("E-X1: protocol comparison under hot-spot load", run_scalability),
+    "diffusion": ("E-X2: spectral vs measured diffusion convergence", run_diffusion_theory),
+    "alpha": ("E-X3: diffusion-parameter sweep", run_alpha_ablation),
+    "delay": ("E-X3: gossip-staleness sweep", run_delay_ablation),
+    "tunneling": ("E-X4: tunneling patience and barrier frequency", run_tunneling_study),
+    "overhead": ("E-X5: control-message and filter overhead", run_overhead),
+    "weighted": ("E-X6: heterogeneous capacities (weighted TLB)", run_weighted_study),
+    "async": ("E-X7: asynchronous activations vs gossip staleness", run_async_study),
+    "dynamics": ("E-X8: erratic request rates (tracking, recovery)", run_dynamics_study),
+    "forest": ("E-X9: overlapping routing trees", run_forest_study),
+    "capacity": ("E-X10: bounded cache capacity (LRU thrash)", run_cache_capacity_study),
+}
+
+
+def run_experiment(exp_id: str) -> object:
+    """Execute one experiment by id; returns its result object."""
+    try:
+        _, fn = EXPERIMENTS[exp_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {known}") from None
+    return fn()
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point (installed as ``webwave-experiments``)."""
+    parser = argparse.ArgumentParser(
+        prog="webwave-experiments",
+        description="Regenerate the WebWave paper's figures and extensions.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list all experiment ids")
+    run_parser = sub.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument("ids", nargs="+", help="experiment ids (or 'all')")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(k) for k in EXPERIMENTS)
+        for exp_id, (description, _) in sorted(EXPERIMENTS.items()):
+            print(f"{exp_id.ljust(width)}  {description}")
+        return 0
+
+    ids = sorted(EXPERIMENTS) if args.ids == ["all"] else args.ids
+    status = 0
+    for exp_id in ids:
+        try:
+            result = run_experiment(exp_id)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            status = 2
+            continue
+        print(f"\n=== {exp_id}: {EXPERIMENTS[exp_id][0]} ===\n")
+        print(result.report())
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,169 @@
+"""Experiment E-X4 - tunneling sensitivity and barrier frequency.
+
+Two studies around Section 5.2:
+
+* **Patience sweep**: the paper triggers tunneling after a node stays
+  underloaded "for more than two periods".  We sweep the threshold on the
+  Figure 7 workload: patience 0 tunnels eagerly (more fetches), large
+  patience delays recovery.
+* **Barrier frequency**: how often do potential barriers arise organically?
+  We scatter per-document demand over random trees with varying Zipf skew,
+  run the per-document protocol from cold caches, and count distinct
+  tunneling nodes and convergence rounds.  More skew concentrates demand in
+  fewer documents, which makes barrier configurations rarer; flat
+  popularity with scattered demand produces more of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..analysis.tables import format_table
+from ..core.barriers import DocumentDemand, DocumentWebWave, DocumentWebWaveConfig
+from ..core.tree import random_tree
+from ..documents.popularity import zipf_weights
+from ..sim.rng import RngStreams
+from .paper_trees import fig7_demand, fig7_initial_cache, fig7_initial_served
+
+__all__ = [
+    "PatienceRow",
+    "SkewRow",
+    "TunnelingResult",
+    "run_patience_sweep",
+    "run_skew_study",
+]
+
+
+@dataclass(frozen=True)
+class PatienceRow:
+    patience: int
+    converged: bool
+    rounds: int
+    tunnel_fetches: int
+
+
+@dataclass(frozen=True)
+class SkewRow:
+    zipf_s: float
+    trials: int
+    mean_tunnels: float
+    mean_rounds: float
+    converged_fraction: float
+
+
+@dataclass(frozen=True)
+class TunnelingResult:
+    patience_rows: Tuple[PatienceRow, ...]
+    skew_rows: Tuple[SkewRow, ...]
+
+    def report(self) -> str:
+        patience = format_table(
+            ["patience", "converged", "rounds", "tunnel fetches"],
+            [
+                [r.patience, str(r.converged), r.rounds, r.tunnel_fetches]
+                for r in self.patience_rows
+            ],
+            title="Tunneling patience sweep on Figure 7 (E-X4)",
+        )
+        skew = format_table(
+            ["zipf s", "trials", "mean tunnels", "mean rounds", "converged"],
+            [
+                [r.zipf_s, r.trials, r.mean_tunnels, r.mean_rounds, r.converged_fraction]
+                for r in self.skew_rows
+            ],
+            precision=2,
+            title="Barrier frequency vs popularity skew (E-X4)",
+        )
+        return f"{patience}\n\n{skew}"
+
+
+def run_patience_sweep(
+    patiences: Sequence[int] = (0, 1, 2, 4, 8),
+    max_rounds: int = 500,
+    tolerance: float = 0.5,
+) -> Tuple[PatienceRow, ...]:
+    """Sweep the barrier-detection threshold on the Figure 7 stuck state."""
+    rows: List[PatienceRow] = []
+    for patience in patiences:
+        model = DocumentWebWave(
+            fig7_demand(),
+            initial_cache=fig7_initial_cache(),
+            initial_served=fig7_initial_served(),
+            config=DocumentWebWaveConfig(
+                patience=patience, max_rounds=max_rounds, tolerance=tolerance
+            ),
+        )
+        result = model.run()
+        rows.append(
+            PatienceRow(
+                patience=patience,
+                converged=result.converged,
+                rounds=result.rounds,
+                tunnel_fetches=len(result.tunnel_events),
+            )
+        )
+    return tuple(rows)
+
+
+def _random_demand(n_nodes: int, n_docs: int, zipf_s: float, rng) -> DocumentDemand:
+    tree = random_tree(n_nodes, rng)
+    docs = tuple(f"d{k}" for k in range(n_docs))
+    weights = zipf_weights(n_docs, zipf_s)
+    demand: Dict[int, Dict[str, float]] = {}
+    # each document's demand concentrates at one random origin
+    for doc, weight in zip(docs, weights):
+        origin = rng.randrange(n_nodes)
+        demand.setdefault(origin, {})[doc] = demand.get(origin, {}).get(doc, 0.0) + (
+            1000.0 * weight
+        )
+    return DocumentDemand(tree=tree, documents=docs, demand=demand)
+
+
+def run_skew_study(
+    skews: Sequence[float] = (0.0, 0.6, 0.9, 1.2),
+    trials: int = 8,
+    n_nodes: int = 24,
+    n_docs: int = 12,
+    max_rounds: int = 600,
+    tolerance: float = 1.0,
+    seed: int = 0,
+) -> Tuple[SkewRow, ...]:
+    """Count tunneling activity over random workloads per Zipf skew."""
+    streams = RngStreams(seed)
+    rows: List[SkewRow] = []
+    for s in skews:
+        tunnels: List[int] = []
+        rounds: List[int] = []
+        converged = 0
+        for trial in range(trials):
+            rng = streams.fresh("skew", s=str(s), trial=trial)
+            workload = _random_demand(n_nodes, n_docs, s, rng)
+            model = DocumentWebWave(
+                workload,
+                config=DocumentWebWaveConfig(
+                    max_rounds=max_rounds, tolerance=tolerance
+                ),
+            )
+            result = model.run()
+            tunnels.append(len(result.tunnel_events))
+            rounds.append(result.rounds)
+            converged += int(result.converged)
+        rows.append(
+            SkewRow(
+                zipf_s=s,
+                trials=trials,
+                mean_tunnels=sum(tunnels) / trials,
+                mean_rounds=sum(rounds) / trials,
+                converged_fraction=converged / trials,
+            )
+        )
+    return tuple(rows)
+
+
+def run_tunneling_study(**kwargs) -> TunnelingResult:
+    """Both halves of E-X4 with default parameters."""
+    return TunnelingResult(
+        patience_rows=run_patience_sweep(),
+        skew_rows=run_skew_study(**kwargs),
+    )

@@ -1,0 +1,28 @@
+"""Packet-level protocols: WebWave and the comparison baselines."""
+
+from .baselines import (
+    DirectoryConfig,
+    DirectoryScenario,
+    IcpConfig,
+    IcpScenario,
+    NoCacheScenario,
+    PushConfig,
+    PushScenario,
+)
+from .scenario import Scenario, ScenarioConfig, ScenarioMetrics
+from .webwave import WebWaveProtocolConfig, WebWaveScenario
+
+__all__ = [
+    "Scenario",
+    "ScenarioConfig",
+    "ScenarioMetrics",
+    "WebWaveScenario",
+    "WebWaveProtocolConfig",
+    "NoCacheScenario",
+    "DirectoryScenario",
+    "DirectoryConfig",
+    "IcpScenario",
+    "IcpConfig",
+    "PushScenario",
+    "PushConfig",
+]

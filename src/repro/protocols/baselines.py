@@ -1,0 +1,339 @@
+"""Comparison baselines for the scalability experiments.
+
+The paper's introduction argues against three alternatives to directory-free
+en-route caching; we implement a faithful small model of each mechanism so
+the benches can reproduce the qualitative comparison:
+
+* :class:`NoCacheScenario` - no cooperation at all: every request is served
+  by the home server (the lower bound every caching scheme must beat).
+* :class:`DirectoryScenario` - a *central cache directory* (Section 1's
+  "most current research assumes the existence of a cache directory
+  service"): every request first queries the directory, which redirects it
+  to the least-loaded replica; the directory replicates hot documents when
+  the home saturates.  The directory has finite query capacity, so it is
+  itself the scalability bottleneck the paper predicts.
+* :class:`IcpScenario` - ICP-style proactive discovery [28]: on a miss, a
+  cache probes its tree neighbours before forwarding, paying an extra
+  round-trip and probe messages; caches demand-fill from responses.
+* :class:`PushScenario` - popularity-based push caching (Bestavros [4],
+  Gwertzman [16]): the home periodically pushes its hottest documents one
+  level down, with no load awareness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from .scenario import Scenario, ScenarioConfig
+from ..traffic.requests import Request
+from ..traffic.workload import Workload
+
+__all__ = [
+    "NoCacheScenario",
+    "DirectoryScenario",
+    "DirectoryConfig",
+    "IcpScenario",
+    "IcpConfig",
+    "PushScenario",
+    "PushConfig",
+]
+
+_EPS = 1e-9
+
+
+class NoCacheScenario(Scenario):
+    """Every request travels to the home server; nobody else serves."""
+
+    name = "no_cache"
+
+    def handle_arrival(self, request: Request, node: int) -> None:
+        request.path.append(node)
+        if node == self.tree.root:
+            self._serve(request, node)
+        else:
+            self._forward(request, node, self.tree.parent(node), extra=0.0)
+
+
+# ----------------------------------------------------------------------
+# Central cache directory
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DirectoryConfig:
+    """Knobs of the directory baseline.
+
+    ``query_capacity`` is the directory service's lookup throughput
+    (queries/second) - the funnel the paper identifies.  ``replicate_period``
+    controls how often the directory reacts to load, replicating the
+    globally hottest document onto the least-loaded server.
+    """
+
+    query_capacity: float = 2000.0
+    replicate_period: float = 2.0
+    max_replicas_per_doc: int = 8
+    overload_threshold: float = 0.7
+
+
+class DirectoryScenario(Scenario):
+    """Requests consult a central directory that redirects to replicas."""
+
+    name = "directory"
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: Optional[ScenarioConfig] = None,
+        topology=None,
+        directory: Optional[DirectoryConfig] = None,
+    ) -> None:
+        super().__init__(workload, config, topology)
+        self.directory = directory or DirectoryConfig()
+        # replica map lives at the home node: doc -> holders
+        self.replicas: Dict[str, Set[int]] = {
+            doc.doc_id: {self.tree.root} for doc in workload.catalog
+        }
+        self._dir_busy_until = 0.0
+        self.directory_queries = 0
+
+    def on_start(self) -> None:
+        self.sim.every(self.directory.replicate_period, self._replicate_step)
+
+    # -- datapath ------------------------------------------------------
+    def handle_arrival(self, request: Request, node: int) -> None:
+        """Origin node: query directory, then go straight to the replica."""
+        request.path.append(node)
+        self.count_message("directory_query")
+        self.directory_queries += 1
+        # Query travels to the directory (co-located with the home) and
+        # queues behind other lookups; the reply returns to the origin.
+        to_dir = self.path_delay(node, self.tree.root)
+        arrival = self.sim.now + to_dir
+        service = 1.0 / self.directory.query_capacity
+        start = max(arrival, self._dir_busy_until)
+        self._dir_busy_until = start + service
+        reply_at = self._dir_busy_until + to_dir
+
+        def redirect() -> None:
+            target = self._pick_replica(request.doc_id, node)
+            travel = self.path_delay(node, target)
+            request.path.append(target)
+            self.sim.after(travel, lambda: self._serve(request, target))
+
+        self.sim.at(reply_at, redirect)
+
+    def _pick_replica(self, doc_id: str, origin: int) -> int:
+        """Least-loaded holder (ties: closest to the origin)."""
+        now = self.sim.now
+        holders = sorted(self.replicas.get(doc_id, {self.tree.root}))
+        return min(
+            holders,
+            key=lambda h: (self.servers[h].served_rate(now), self.path_delay(origin, h)),
+        )
+
+    # -- replication policy --------------------------------------------
+    def _replicate_step(self) -> None:
+        """Replicate the hottest doc of the most loaded holder if saturated."""
+        now = self.sim.now
+        home = self.servers[self.tree.root]
+        if home.served_rate(now) < self.directory.overload_threshold * home.capacity:
+            return
+        # hottest document system-wide by measured served rate at holders
+        best_doc, best_rate = None, 0.0
+        for doc_id, holders in self.replicas.items():
+            if len(holders) >= self.directory.max_replicas_per_doc:
+                continue
+            rate = sum(self.servers[h].served_rate(now, doc_id) for h in holders)
+            if rate > best_rate:
+                best_doc, best_rate = doc_id, rate
+        if best_doc is None:
+            return
+        candidates = [
+            i for i in self.tree if i not in self.replicas[best_doc]
+        ]
+        if not candidates:
+            return
+        target = min(candidates, key=lambda i: self.servers[i].served_rate(now))
+        self.count_message("copy_transfer")
+        delay = self.path_delay(self.tree.root, target)
+
+        def install() -> None:
+            self.servers[target].install_copy(best_doc)
+            self.replicas[best_doc].add(target)
+
+        self.sim.after(delay, install)
+
+    def _serve(self, request: Request, node: int, extra_delay: float = 0.0) -> None:
+        # Directory-served requests bypass the wants_to_serve gate: the
+        # directory's redirect *is* the admission decision.
+        server = self.servers[node]
+        server.record_served(self.sim.now, request.doc_id)
+        request.served_by = node
+        request.served_at = self.sim.now
+        completion = server.service_completion(self.sim.now) + extra_delay
+        return_delay = self.path_delay(node, request.origin)
+
+        def complete() -> None:
+            request.completed_at = self.sim.now
+            self._finished.append(request)
+            if request.created_at >= self.config.warmup:
+                self._completed_after_warmup += 1
+
+        self.sim.at(completion + return_delay, complete)
+
+
+# ----------------------------------------------------------------------
+# ICP-style sibling probing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IcpConfig:
+    """ICP probing knobs: per-probe timeout and demand-caching toggle."""
+
+    probe_timeout: float = 0.05
+    demand_fill: bool = True
+    serve_share: float = 1.0
+
+
+class IcpScenario(Scenario):
+    """Hierarchical caching with ICP neighbour probes before forwarding.
+
+    On a local miss, the node probes its tree neighbours (parent and
+    siblings via the parent, per the Harvest arrangement); if any holds a
+    copy, the request is redirected there; otherwise it climbs one level
+    and repeats.  Every resolved request demand-fills the caches on its
+    path (standard hierarchical caching), which is what makes ICP effective
+    but also what makes its probe overhead scale with miss rate.
+    """
+
+    name = "icp"
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: Optional[ScenarioConfig] = None,
+        topology=None,
+        icp: Optional[IcpConfig] = None,
+    ) -> None:
+        super().__init__(workload, config, topology)
+        self.icp = icp or IcpConfig()
+
+    def handle_arrival(self, request: Request, node: int) -> None:
+        request.path.append(node)
+        server = self.servers[node]
+        if server.is_home or server.caches(request.doc_id):
+            self._serve_and_fill(request, node)
+            return
+        # Probe tree neighbours (parent + siblings), paying one probe RTT.
+        parent = self.tree.parent(node)
+        peers = [parent] + [c for c in self.tree.children(parent) if c != node]
+        for peer in peers:
+            self.count_message("icp_probe")
+        hit = next(
+            (p for p in peers if self.servers[p].caches(request.doc_id)), None
+        )
+        probe_rtt = min(
+            self.icp.probe_timeout,
+            2 * max((self.edge_delay(node, parent)), 1e-4),
+        )
+        if hit is not None:
+            travel = probe_rtt + self.path_delay(node, hit)
+            request.path.append(hit)
+            self.sim.after(travel, lambda: self._serve_and_fill(request, hit))
+        else:
+            delay = probe_rtt + self.edge_delay(node, parent)
+            self.servers[node].record_forwarded(self.sim.now, request.doc_id)
+            self.sim.after(delay, lambda: self.handle_arrival(request, parent))
+
+    def _serve_and_fill(self, request: Request, node: int) -> None:
+        self._serve(request, node)
+        if self.icp.demand_fill:
+            origin_path = self.tree.path_to_root(request.origin)
+            for hop in origin_path:
+                if hop == node or hop == self.tree.root:
+                    break
+                self.servers[hop].install_copy(request.doc_id)
+                self.routers[hop].sync_filter()
+
+    def _serve(self, request: Request, node: int, extra_delay: float = 0.0) -> None:
+        # ICP serves on any cache hit (no target gate).
+        server = self.servers[node]
+        server.record_served(self.sim.now, request.doc_id)
+        request.served_by = node
+        request.served_at = self.sim.now
+        completion = server.service_completion(self.sim.now) + extra_delay
+        return_delay = self.path_delay(node, request.origin)
+
+        def complete() -> None:
+            request.completed_at = self.sim.now
+            self._finished.append(request)
+            if request.created_at >= self.config.warmup:
+                self._completed_after_warmup += 1
+
+        self.sim.at(completion + return_delay, complete)
+
+
+# ----------------------------------------------------------------------
+# Popularity push caching
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PushConfig:
+    """Push-caching knobs: how many hot docs, how often, how deep."""
+
+    push_period: float = 5.0
+    top_k: int = 3
+    depth: int = 1
+
+
+class PushScenario(Scenario):
+    """The home pushes its hottest documents down the tree periodically.
+
+    Receivers serve any request for a document they hold (no load
+    awareness) - geographical push caching without the geography.
+    """
+
+    name = "push"
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: Optional[ScenarioConfig] = None,
+        topology=None,
+        push: Optional[PushConfig] = None,
+    ) -> None:
+        super().__init__(workload, config, topology)
+        self.push = push or PushConfig()
+
+    def on_start(self) -> None:
+        self.sim.every(self.push.push_period, self._push_step)
+
+    def _push_step(self) -> None:
+        now = self.sim.now
+        home = self.servers[self.tree.root]
+        ranked = sorted(
+            (
+                (home.served_rate(now, doc.doc_id), doc.doc_id)
+                for doc in self.workload.catalog
+            ),
+            reverse=True,
+        )
+        hot = [doc_id for rate, doc_id in ranked[: self.push.top_k] if rate > _EPS]
+        targets = [
+            i
+            for i in self.tree
+            if 0 < self.tree.depth(i) <= self.push.depth
+        ]
+        for doc_id in hot:
+            for target in targets:
+                if self.servers[target].caches(doc_id):
+                    continue
+                self.count_message("copy_transfer")
+                delay = self.path_delay(self.tree.root, target)
+
+                def install(target=target, doc_id=doc_id) -> None:
+                    server = self.servers[target]
+                    server.install_copy(doc_id)
+                    # push caches serve everything they hold
+                    server.serve_targets[doc_id] = math.inf
+                    self.routers[target].sync_filter()
+
+                self.sim.after(delay, install)

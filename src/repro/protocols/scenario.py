@@ -1,0 +1,394 @@
+"""Packet-level scenario harness shared by WebWave and all baselines.
+
+A :class:`Scenario` wires together the substrates: a routing tree (possibly
+extracted from a topology), per-node cache servers and routers, a workload
+that schedules request arrivals, and a protocol's behaviour hooks.  The
+datapath is the paper's: a request travels hop-by-hop up the routing tree;
+at each hop the router classifies it and either diverts it into the local
+cache server (which queues it for service) or forwards it to the parent.
+Replies return directly to the origin over the same route.
+
+Protocols customize behaviour by overriding hooks:
+
+* :meth:`Scenario.on_start` - install timers (gossip, diffusion, push...);
+* :meth:`Scenario.handle_arrival` - per-hop decision (the default is the
+  WebWave router datapath; the directory baseline replaces it entirely).
+
+Metrics are collected uniformly so baselines are comparable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..cache.server import CacheServer
+from ..core.load import LoadAssignment
+from ..core.tree import RoutingTree
+from ..core.webfold import webfold
+from ..net.topology import Topology
+from ..router.packetfilter import DPF_MATCH_COST
+from ..router.router import Router
+from ..sim.engine import Simulator
+from ..sim.rng import RngStreams
+from ..traffic.requests import Request
+from ..traffic.workload import Workload
+
+__all__ = ["Scenario", "ScenarioConfig", "ScenarioMetrics"]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Common knobs of a packet-level run.
+
+    ``duration`` is virtual seconds; ``warmup`` excludes the initial
+    transient from response-time and throughput statistics.  ``hop_delay``
+    is used for tree edges when no topology provides per-link delays.
+    ``cache_capacity`` bounds the number of cached documents per non-home
+    server (``None`` reproduces the paper's unlimited-storage assumption);
+    ``cache_policy`` selects the replacement policy for bounded stores.
+    """
+
+    duration: float = 60.0
+    warmup: float = 10.0
+    seed: int = 0
+    hop_delay: float = 0.01
+    default_capacity: float = 100.0
+    filter_match_cost: float = DPF_MATCH_COST
+    arrival_kind: str = "poisson"
+    cache_capacity: Optional[int] = None
+    cache_policy: str = "lru"
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if not 0 <= self.warmup < self.duration:
+            raise ValueError("warmup must lie in [0, duration)")
+        if self.hop_delay < 0 or self.default_capacity <= 0:
+            raise ValueError("invalid hop_delay or capacity")
+        if self.cache_capacity is not None and self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be >= 1 or None")
+
+
+@dataclass
+class ScenarioMetrics:
+    """What a run produced, measured after warmup."""
+
+    duration: float
+    measured_window: float
+    completed: int
+    generated: int
+    response_times: List[float] = field(default_factory=list)
+    hops: List[int] = field(default_factory=list)
+    served_by_node: Dict[int, int] = field(default_factory=dict)
+    messages: Dict[str, int] = field(default_factory=dict)
+    home_served: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second in the measured window."""
+        return self.completed / self.measured_window if self.measured_window else 0.0
+
+    @property
+    def mean_response_time(self) -> float:
+        if not self.response_times:
+            return math.nan
+        return sum(self.response_times) / len(self.response_times)
+
+    def response_time_percentile(self, q: float) -> float:
+        """q-th percentile (0..100) of response times."""
+        if not self.response_times:
+            return math.nan
+        xs = sorted(self.response_times)
+        idx = min(int(len(xs) * q / 100.0), len(xs) - 1)
+        return xs[idx]
+
+    @property
+    def mean_hops(self) -> float:
+        if not self.hops:
+            return math.nan
+        return sum(self.hops) / len(self.hops)
+
+    @property
+    def home_share(self) -> float:
+        """Fraction of measured requests served by the home server."""
+        total = sum(self.served_by_node.values())
+        return self.home_served / total if total else 0.0
+
+    def total_messages(self) -> int:
+        return sum(self.messages.values())
+
+
+class Scenario:
+    """Base packet-level scenario; subclasses implement protocols.
+
+    Parameters
+    ----------
+    workload:
+        The tree + catalog + rates being exercised.
+    config:
+        Run parameters.
+    topology:
+        Optional underlying topology supplying per-link delays and per-node
+        capacities; when omitted, every tree edge gets ``config.hop_delay``
+        and every server ``config.default_capacity``.
+    """
+
+    name = "base"
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: Optional[ScenarioConfig] = None,
+        topology: Optional[Topology] = None,
+    ) -> None:
+        self.workload = workload
+        self.config = config or ScenarioConfig()
+        self.topology = topology
+        self.tree: RoutingTree = workload.tree
+        self.sim = Simulator()
+        self.streams = RngStreams(self.config.seed)
+        self.servers: List[CacheServer] = []
+        self.routers: List[Router] = []
+        self._build_nodes()
+        self.requests: List[Request] = []
+        self.messages: Dict[str, int] = {}
+        self._req_counter = 0
+        self._completed_after_warmup = 0
+        self._generated_after_warmup = 0
+        self._finished: List[Request] = []
+        self._measured_snapshot: Optional[List[float]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_nodes(self) -> None:
+        cfg = self.config
+        for node in self.tree:
+            capacity = (
+                self.topology.capacity(node)
+                if self.topology is not None
+                else cfg.default_capacity
+            )
+            is_home = node == self.tree.root
+            store = None
+            if cfg.cache_capacity is not None and not is_home:
+                from ..cache.store import CacheStore
+
+                store = CacheStore(
+                    capacity=cfg.cache_capacity, policy=cfg.cache_policy
+                )
+            server = CacheServer(
+                node=node,
+                capacity=capacity,
+                is_home=is_home,
+                store=store,
+            )
+            if server.is_home:
+                for doc in self.workload.catalog:
+                    server.install_copy(doc.doc_id, pinned=True)
+            self.servers.append(server)
+            router = Router(
+                node=node,
+                server=server,
+                parent=self.tree.parent(node),
+            )
+            router.filters.match_cost = cfg.filter_match_cost
+            router.sync_filter()
+            self.routers.append(router)
+
+    def edge_delay(self, a: int, b: int) -> float:
+        """One-way delay of the tree edge between ``a`` and ``b``."""
+        if self.topology is not None:
+            return self.topology.delay(a, b)
+        return self.config.hop_delay
+
+    def path_delay(self, a: int, b: int) -> float:
+        """Delay along the tree path between two nodes (via ancestors)."""
+        path_a = self.tree.path_to_root(a)
+        path_b = set(self.tree.path_to_root(b))
+        # climb from a to the first common ancestor, then descend to b
+        total = 0.0
+        u = a
+        while u not in path_b:
+            p = self.tree.parent(u)
+            total += self.edge_delay(u, p)
+            u = p
+        v = b
+        while v != u:
+            p = self.tree.parent(v)
+            total += self.edge_delay(v, p)
+            v = p
+        return total
+
+    def count_message(self, kind: str, n: int = 1) -> None:
+        """Tally a protocol control message (gossip, probe, copy, ...)."""
+        self.messages[kind] = self.messages.get(kind, 0) + n
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+    def _schedule_arrivals(self) -> None:
+        processes = self.workload.arrival_processes(
+            self.streams, kind=self.config.arrival_kind
+        )
+
+        def launch(node: int, doc_id: str, process) -> None:
+            gap = process.next_gap()
+            if math.isinf(gap):
+                return
+
+            def fire() -> None:
+                if self.sim.now <= self.config.duration:
+                    self._new_request(node, doc_id)
+                    launch(node, doc_id, process)
+
+            self.sim.after(gap, fire)
+
+        for (node, doc_id), process in sorted(processes.items()):
+            launch(node, doc_id, process)
+
+    def _new_request(self, origin: int, doc_id: str) -> None:
+        request = Request(
+            req_id=self._req_counter,
+            doc_id=doc_id,
+            origin=origin,
+            created_at=self.sim.now,
+        )
+        self._req_counter += 1
+        if self.sim.now >= self.config.warmup:
+            self._generated_after_warmup += 1
+        self.requests.append(request)
+        self.handle_arrival(request, origin)
+
+    def handle_arrival(self, request: Request, node: int) -> None:
+        """Default datapath: router classify, serve-or-forward (WebWave)."""
+        request.path.append(node)
+        router = self.routers[node]
+        decision = router.process(request.doc_id, self.sim.now)
+        if decision.serve:
+            self._serve(request, node, extra_delay=decision.filter_cost)
+        elif decision.next_hop is not None:
+            self._forward(request, node, decision.next_hop, decision.filter_cost)
+        else:  # root declined: cannot happen (home always serves), but be safe
+            self._serve(request, node, extra_delay=decision.filter_cost)
+
+    def _forward(self, request: Request, node: int, next_hop: int, extra: float) -> None:
+        self.servers[node].record_forwarded(self.sim.now, request.doc_id)
+        delay = self.edge_delay(node, next_hop) + extra
+        self.sim.after(delay, lambda: self.handle_arrival(request, next_hop))
+
+    def _serve(self, request: Request, node: int, extra_delay: float = 0.0) -> None:
+        """Queue the request at ``node``'s server; reply returns to origin."""
+        server = self.servers[node]
+        server.record_served(self.sim.now, request.doc_id)
+        request.served_by = node
+        request.served_at = self.sim.now
+        completion = server.service_completion(self.sim.now) + extra_delay
+        return_delay = self.path_delay(node, request.origin)
+
+        def complete() -> None:
+            request.completed_at = self.sim.now
+            self._finished.append(request)
+            if request.created_at >= self.config.warmup:
+                self._completed_after_warmup += 1
+
+        self.sim.at(completion + return_delay, complete)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def schedule_failure(self, node: int, at: float, until: Optional[float] = None) -> None:
+        """Crash a cache server at virtual time ``at``; optionally recover.
+
+        A failed server loses its cache contents (a 1996 cache server's
+        copies lived in volatile memory), its router stops diverting, and
+        requests simply continue up the tree toward the home - the
+        robustness behaviour the paper's architecture implies.  The home
+        server cannot fail (it holds the only authoritative copies).
+        """
+        if node == self.tree.root:
+            raise ValueError("the home server cannot fail in this model")
+        if until is not None and until <= at:
+            raise ValueError("recovery must come after the failure")
+
+        def crash() -> None:
+            server = self.servers[node]
+            server.failed = True
+            for doc_id in list(server.store.doc_ids):
+                server.drop_copy(doc_id)
+            self.routers[node].sync_filter()
+            self.count_message("node_failure")
+
+        self.sim.at(at, crash)
+        if until is not None:
+            def recover() -> None:
+                self.servers[node].failed = False
+                self.count_message("node_recovery")
+
+            self.sim.at(until, recover)
+
+    # ------------------------------------------------------------------
+    # Protocol hooks
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        """Install protocol timers; default protocol-free (home serves all)."""
+
+    # ------------------------------------------------------------------
+    # Driving and metrics
+    # ------------------------------------------------------------------
+    def run(self) -> ScenarioMetrics:
+        """Execute the scenario and collect metrics."""
+        self.on_start()
+        self._schedule_arrivals()
+        self.sim.run(until=self.config.duration)
+        # Snapshot measured rates while traffic is still flowing; the rate
+        # meters decay during the drain phase below.
+        self._measured_snapshot = [
+            server.served_rate(self.sim.now) for server in self.servers
+        ]
+        # Allow in-flight requests to drain briefly past the arrival horizon.
+        self.sim.run(until=self.config.duration * 1.25)
+        return self._collect()
+
+    def _collect(self) -> ScenarioMetrics:
+        cfg = self.config
+        window = cfg.duration - cfg.warmup
+        metrics = ScenarioMetrics(
+            duration=cfg.duration,
+            measured_window=window,
+            completed=self._completed_after_warmup,
+            generated=self._generated_after_warmup,
+            messages=dict(self.messages),
+        )
+        for request in self._finished:
+            if request.created_at < cfg.warmup:
+                continue
+            metrics.response_times.append(request.response_time)
+            metrics.hops.append(request.hops)
+            node = request.served_by
+            metrics.served_by_node[node] = metrics.served_by_node.get(node, 0) + 1
+            if node == self.tree.root:
+                metrics.home_served += 1
+        return metrics
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+    def measured_assignment(self) -> LoadAssignment:
+        """Measured served rates as a rate-level assignment.
+
+        Uses the end-of-arrivals snapshot when the run has completed (the
+        meters decay during the drain phase); falls back to live rates for
+        a scenario still in flight.
+        """
+        served = getattr(self, "_measured_snapshot", None)
+        if served is None:
+            now = self.sim.now
+            served = [s.served_rate(now) for s in self.servers]
+        return LoadAssignment(self.tree, self.workload.node_rates(), served)
+
+    def tlb_target(self) -> LoadAssignment:
+        """The offline TLB optimum for this workload's aggregate rates."""
+        return webfold(self.tree, self.workload.node_rates()).assignment

@@ -1,0 +1,313 @@
+"""The WebWave protocol on the packet-level simulator.
+
+This is the "realistic system" Section 5 sketches: servers measure their own
+rates, *gossip* their loads to tree neighbours every ``gossip_period``, and
+every ``diffusion_period`` run the loop of Figure 5 against their latest
+estimates:
+
+* a parent hotter than a child **delegates**: it picks cached documents the
+  child's subtree is forwarding (hottest first, NSS-capped by the measured
+  per-document forwarded rate) and ships copies down, raising the child's
+  serve targets;
+* a child cooler than its parent **pulls**: it raises its own targets for
+  documents it already caches, capped by what it still forwards;
+* a child hotter than its parent **sheds**: it lowers targets, dropping
+  copies whose target reaches zero (the router filter is re-synced).
+
+Barrier recovery per Section 5.2: a node underloaded relative to its parent
+for more than ``patience`` consecutive diffusion periods with no delegation
+received *tunnels* - it requests its hottest forwarded document directly
+from the nearest ancestor caching it, pays the round-trip plus transfer
+time, then serves the document normally.
+
+Control messages (gossip, copy transfers, tunnel fetches) are counted so
+the overhead benches can compare against the baselines' directory lookups
+and probe storms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .scenario import Scenario, ScenarioConfig
+from ..traffic.workload import Workload
+
+__all__ = ["WebWaveScenario", "WebWaveProtocolConfig"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class WebWaveProtocolConfig:
+    """Protocol timers and diffusion knobs (Section 5).
+
+    ``gossip_period`` and ``diffusion_period`` are the paper's two protocol
+    parameters.  ``alpha`` of ``None`` selects ``1/(deg+1)`` per node.
+    """
+
+    gossip_period: float = 0.5
+    diffusion_period: float = 1.0
+    alpha: Optional[float] = None
+    patience: int = 2
+    tunneling: bool = True
+    min_transfer_rate: float = 0.1
+    copy_message_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.gossip_period <= 0 or self.diffusion_period <= 0:
+            raise ValueError("periods must be positive")
+        if self.alpha is not None and not 0 < self.alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        if self.patience < 0:
+            raise ValueError("patience must be >= 0")
+
+
+class WebWaveScenario(Scenario):
+    """Packet-level WebWave: gossip + diffusion + tunneling."""
+
+    name = "webwave"
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: Optional[ScenarioConfig] = None,
+        topology=None,
+        protocol: Optional[WebWaveProtocolConfig] = None,
+    ) -> None:
+        super().__init__(workload, config, topology)
+        self.protocol = protocol or WebWaveProtocolConfig()
+        # load_estimates[i][j]: i's view of neighbour j's total load
+        self.load_estimates: List[Dict[int, float]] = [
+            {j: 0.0 for j in self.tree.neighbors(i)} for i in self.tree
+        ]
+        self._stagnant: List[int] = [0] * self.tree.n
+        self._delegated_to: List[bool] = [False] * self.tree.n
+        self.tunnel_count = 0
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        p = self.protocol
+        self.sim.every(p.gossip_period, self._gossip, start=p.gossip_period / 2)
+        self.sim.every(p.diffusion_period, self._diffuse, start=p.diffusion_period)
+
+    # ------------------------------------------------------------------
+    def _alpha(self, a: int, b: int) -> float:
+        if self.protocol.alpha is not None:
+            return self.protocol.alpha
+        return min(
+            1.0 / (self.tree.degree(a) + 1),
+            1.0 / (self.tree.degree(b) + 1),
+        )
+
+    def _gossip(self) -> None:
+        """Every node broadcasts its measured load to its tree neighbours.
+
+        Estimates land after the corresponding link delay, modelling the
+        gossip staleness a real deployment sees.
+        """
+        now = self.sim.now
+        for i in self.tree:
+            load = self.servers[i].served_rate(now)
+            for j in self.tree.neighbors(i):
+                self.count_message("gossip")
+                delay = self.edge_delay(i, j)
+
+                def deliver(j=j, i=i, load=load) -> None:
+                    self.load_estimates[j][i] = load
+
+                self.sim.after(delay, deliver)
+
+    # ------------------------------------------------------------------
+    def _diffuse(self) -> None:
+        """One diffusion period: every node runs Figure 5 on its estimates."""
+        now = self.sim.now
+        self._delegated_to = [False] * self.tree.n
+        for i in self.tree.bfs_order():
+            self._diffuse_node(i, now)
+        if self.protocol.tunneling:
+            self._check_barriers(now)
+        else:
+            # keep the stagnation counters honest even when recovery is off
+            self._update_stagnation(now)
+
+    def _diffuse_node(self, i: int, now: float) -> None:
+        server = self.servers[i]
+        my_load = server.served_rate(now)
+        # -- toward children: delegate copies down (Figure 5, step 2.1) --
+        for j in self.tree.children(i):
+            child_load = self.load_estimates[i].get(j, 0.0)
+            gap = my_load - child_load
+            if gap <= _EPS:
+                continue
+            budget = self._alpha(i, j) * gap
+            if budget < self.protocol.min_transfer_rate:
+                continue
+            self._delegate(i, j, budget, now)
+        # -- toward parent (Figure 5, step 2.2) ---------------------------
+        parent = self.tree.parent(i)
+        if parent is None:
+            return
+        parent_load = self.load_estimates[i].get(parent, 0.0)
+        gap = parent_load - my_load
+        if gap > _EPS:
+            budget = self._alpha(i, parent) * gap
+            if budget >= self.protocol.min_transfer_rate:
+                self._pull(i, budget, now)
+        elif -gap > _EPS:
+            budget = self._alpha(i, parent) * (-gap)
+            if budget >= self.protocol.min_transfer_rate:
+                self._shed(i, budget, now)
+
+    def _delegate(self, parent: int, child: int, budget: float, now: float) -> None:
+        """Ship copies + targets for the child's hottest forwarded docs."""
+        child_server = self.servers[child]
+        parent_server = self.servers[parent]
+        moved = 0.0
+        for doc_id, rate in child_server.forwarded_documents(now):
+            if moved >= budget - _EPS:
+                break
+            if not parent_server.caches(doc_id):
+                continue
+            x = min(rate, budget - moved)
+            if x < self.protocol.min_transfer_rate:
+                continue
+            moved += x
+            self._ship_copy(parent, child, doc_id, x, now)
+            # the parent expects the child to take over this slice of work:
+            # lower its own target for the document correspondingly
+            own = parent_server.serve_targets.get(doc_id, 0.0)
+            if own > _EPS and not parent_server.is_home:
+                parent_server.serve_targets[doc_id] = max(own - x, 0.0)
+        if moved > _EPS:
+            self._delegated_to[child] = True
+
+    def _ship_copy(self, src: int, dst: int, doc_id: str, target_add: float, now: float) -> None:
+        """Send a cache copy down one edge; install on arrival."""
+        self.count_message("copy_transfer")
+        doc = self.workload.catalog.get(doc_id)
+        delay = self.edge_delay(src, dst) + self.protocol.copy_message_delay
+        link_bw = None
+        if self.topology is not None:
+            link_bw = self.topology.link(src, dst).bandwidth
+        if link_bw:
+            delay += doc.size / link_bw
+
+        def install() -> None:
+            server = self.servers[dst]
+            if server.failed:
+                return  # the copy is lost with the crashed server
+            server.install_copy(doc_id)
+            server.serve_targets[doc_id] = (
+                server.serve_targets.get(doc_id, 0.0) + target_add
+            )
+            self.routers[dst].sync_filter()
+
+        self.sim.after(delay, install)
+
+    def _pull(self, node: int, budget: float, now: float) -> None:
+        """Underloaded node raises targets on documents it already caches."""
+        server = self.servers[node]
+        moved = 0.0
+        for doc_id, rate in server.forwarded_documents(now):
+            if moved >= budget - _EPS:
+                break
+            if not server.caches(doc_id):
+                continue
+            x = min(rate, budget - moved)
+            server.serve_targets[doc_id] = server.serve_targets.get(doc_id, 0.0) + x
+            moved += x
+
+    def _shed(self, node: int, budget: float, now: float) -> None:
+        """Overloaded node lowers targets; zero-target copies are dropped."""
+        server = self.servers[node]
+        shed = 0.0
+        targets = sorted(
+            server.serve_targets.items(), key=lambda kv: kv[1], reverse=True
+        )
+        dropped = False
+        for doc_id, target in targets:
+            if shed >= budget - _EPS:
+                break
+            x = min(target, budget - shed)
+            remaining = target - x
+            shed += x
+            if remaining <= _EPS and not server.store.is_pinned(doc_id):
+                server.drop_copy(doc_id)
+                dropped = True
+            else:
+                server.serve_targets[doc_id] = remaining
+        if dropped:
+            self.routers[node].sync_filter()
+
+    # ------------------------------------------------------------------
+    # Barriers and tunneling (Section 5.2)
+    # ------------------------------------------------------------------
+    def _update_stagnation(self, now: float) -> None:
+        for node in self.tree:
+            parent = self.tree.parent(node)
+            if parent is None:
+                continue
+            my_load = self.servers[node].served_rate(now)
+            parent_load = self.load_estimates[node].get(parent, 0.0)
+            underloaded = my_load + self.protocol.min_transfer_rate < parent_load
+            forwarding = self.servers[node].forwarded_rate(now) > _EPS
+            if underloaded and forwarding and not self._delegated_to[node]:
+                self._stagnant[node] += 1
+            else:
+                self._stagnant[node] = 0
+
+    def _check_barriers(self, now: float) -> None:
+        self._update_stagnation(now)
+        for node in self.tree:
+            if self._stagnant[node] > self.protocol.patience:
+                if self._tunnel(node, now):
+                    self._stagnant[node] = 0
+
+    def _tunnel(self, node: int, now: float) -> bool:
+        """Fetch the hottest forwarded document from across the barrier."""
+        server = self.servers[node]
+        for doc_id, rate in server.forwarded_documents(now):
+            if server.caches(doc_id):
+                continue
+            source = self._nearest_ancestor_with(node, doc_id)
+            if source is None:
+                continue
+            self.count_message("tunnel_fetch")
+            self.tunnel_count += 1
+            doc = self.workload.catalog.get(doc_id)
+            delay = 2 * self.path_delay(node, source)
+            if self.topology is not None:
+                # charge the transfer over the slowest link on the path
+                bws = []
+                u = node
+                while u != source:
+                    p = self.tree.parent(u)
+                    bw = self.topology.link(u, p).bandwidth
+                    if bw:
+                        bws.append(bw)
+                    u = p
+                if bws:
+                    delay += doc.size / min(bws)
+
+            def install(doc_id=doc_id, rate=rate) -> None:
+                if server.failed:
+                    return
+                server.install_copy(doc_id)
+                server.serve_targets[doc_id] = (
+                    server.serve_targets.get(doc_id, 0.0) + rate
+                )
+                self.routers[node].sync_filter()
+
+            self.sim.after(delay, install)
+            return True
+        return False
+
+    def _nearest_ancestor_with(self, node: int, doc_id: str) -> Optional[int]:
+        u = self.tree.parent(node)
+        while u is not None:
+            if self.servers[u].caches(doc_id):
+                return u
+            u = self.tree.parent(u)
+        return None

@@ -1,0 +1,12 @@
+"""Router substrate: injectable packet filters and the divert datapath."""
+
+from .packetfilter import DPF_MATCH_COST, FilterTable, PacketFilter
+from .router import RouteDecision, Router
+
+__all__ = [
+    "PacketFilter",
+    "FilterTable",
+    "DPF_MATCH_COST",
+    "Router",
+    "RouteDecision",
+]

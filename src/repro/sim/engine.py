@@ -1,0 +1,183 @@
+"""Discrete-event simulation engine.
+
+A small, deterministic event-driven kernel used by the packet-level WebWave
+simulations (:mod:`repro.protocols`).  Design points:
+
+* Events are ``(time, priority, seq)``-ordered; ``seq`` is a monotonically
+  increasing tie-breaker, so runs are fully deterministic for a fixed seed
+  and schedule order.
+* Scheduling returns an :class:`EventHandle` that can be cancelled
+  (cancellation is lazy: the heap entry is skipped when popped).
+* Recurring timers (:meth:`Simulator.every`) drive the protocol's two
+  periodic activities - the *gossip period* and the *diffusion period*
+  (Section 5: "WebWave servers would have two parameters: the gossip period,
+  and the diffusion period").
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["Simulator", "EventHandle", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on scheduling into the past or running a corrupted queue."""
+
+
+@dataclass
+class EventHandle:
+    """Handle to a scheduled event; supports cancellation and inspection."""
+
+    time: float
+    seq: int
+    callback: Optional[Callable[[], None]]
+
+    @property
+    def cancelled(self) -> bool:
+        return self.callback is None
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self.callback = None
+
+
+class Simulator:
+    """A deterministic event queue with a virtual clock.
+
+    Example::
+
+        sim = Simulator()
+        sim.at(1.0, lambda: print("hello at t=1"))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = itertools.count()
+        self._heap: List[Tuple[float, int, int, EventHandle]] = []
+        self._events_executed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events that have fired so far."""
+        return self._events_executed
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for _, _, _, h in self._heap if not h.cancelled)
+
+    # ------------------------------------------------------------------
+    def at(
+        self, time: float, callback: Callable[[], None], priority: int = 0
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute virtual time ``time``.
+
+        Lower ``priority`` fires first among same-time events; equal
+        priorities fire in scheduling order.
+        """
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f} before now={self._now:.6f}"
+            )
+        if not math.isfinite(time):
+            raise SimulationError(f"non-finite event time {time}")
+        handle = EventHandle(time=max(time, self._now), seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, (handle.time, priority, handle.seq, handle))
+        return handle
+
+    def after(
+        self, delay: float, callback: Callable[[], None], priority: int = 0
+    ) -> EventHandle:
+        """Schedule ``callback`` after a relative ``delay`` (>= 0) seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self._now + delay, callback, priority)
+
+    def every(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        start: Optional[float] = None,
+        priority: int = 0,
+    ) -> Callable[[], None]:
+        """Fire ``callback`` every ``period`` seconds until cancelled.
+
+        Returns a zero-argument cancel function.  The first firing happens
+        at ``start`` (default: one period from now).
+        """
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        state = {"handle": None, "stopped": False}
+
+        def fire() -> None:
+            if state["stopped"]:
+                return
+            callback()
+            if not state["stopped"]:
+                state["handle"] = self.at(self._now + period, fire, priority)
+
+        first = self._now + period if start is None else start
+        state["handle"] = self.at(first, fire, priority)
+
+        def cancel() -> None:
+            state["stopped"] = True
+            if state["handle"] is not None:
+                state["handle"].cancel()
+
+        return cancel
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single next event; False if the queue is empty."""
+        while self._heap:
+            time, _, _, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = time
+            callback = handle.callback
+            handle.callback = None
+            callback()
+            self._events_executed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events in order until the queue drains or limits are hit.
+
+        ``until`` stops the clock at that virtual time (events scheduled
+        later stay queued and ``now`` advances exactly to ``until``);
+        ``max_events`` bounds the number of events executed by this call.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                if max_events is not None and executed >= max_events:
+                    return
+                time, _, _, handle = self._heap[0]
+                if handle.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and time > until:
+                    break
+                self.step()
+                executed += 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False

@@ -1,0 +1,25 @@
+"""Traffic substrate: arrival processes, requests and workloads."""
+
+from .arrivals import (
+    ArrivalProcess,
+    ConstantArrivals,
+    ParetoOnOffArrivals,
+    PoissonArrivals,
+)
+from .requests import Request
+from .trace import Trace, TraceEntry, record_trace
+from .workload import Workload, WorkloadError, hot_document_workload
+
+__all__ = [
+    "ArrivalProcess",
+    "ConstantArrivals",
+    "PoissonArrivals",
+    "ParetoOnOffArrivals",
+    "Request",
+    "Trace",
+    "TraceEntry",
+    "record_trace",
+    "Workload",
+    "WorkloadError",
+    "hot_document_workload",
+]

@@ -1,0 +1,183 @@
+"""Request traces: record, persist, replay, and summarize.
+
+Reproducible evaluation wants the *same* request sequence replayed against
+different protocols.  A :class:`Trace` is an ordered list of
+``(time, origin, doc_id)`` arrivals; it can be captured from a workload,
+saved and loaded as JSON-lines, replayed into any scenario, and summarized
+(empirical per-node rates and document popularity) - the synthetic stand-in
+for the server logs a 1996 evaluation would have replayed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["TraceEntry", "Trace", "record_trace"]
+
+
+@dataclass(frozen=True, order=True)
+class TraceEntry:
+    """One arrival: a request for ``doc_id`` at ``origin`` at ``time``."""
+
+    time: float
+    origin: int
+    doc_id: str
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("time must be >= 0")
+        if self.origin < 0:
+            raise ValueError("origin must be a node id")
+        if not self.doc_id:
+            raise ValueError("doc_id must be non-empty")
+
+
+class Trace:
+    """An ordered request trace."""
+
+    def __init__(self, entries: Iterable[TraceEntry] = ()) -> None:
+        self._entries: List[TraceEntry] = sorted(entries)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, idx: int) -> TraceEntry:
+        return self._entries[idx]
+
+    @property
+    def duration(self) -> float:
+        """Time of the last arrival (0 for an empty trace)."""
+        return self._entries[-1].time if self._entries else 0.0
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def node_rates(self, n_nodes: Optional[int] = None) -> List[float]:
+        """Empirical per-node arrival rates over the trace duration."""
+        horizon = max(self.duration, 1e-12)
+        size = n_nodes if n_nodes is not None else (
+            max((e.origin for e in self._entries), default=-1) + 1
+        )
+        counts = [0] * size
+        for entry in self._entries:
+            counts[entry.origin] += 1
+        return [c / horizon for c in counts]
+
+    def document_counts(self) -> Dict[str, int]:
+        """Requests per document, for empirical popularity."""
+        counts: Dict[str, int] = {}
+        for entry in self._entries:
+            counts[entry.doc_id] = counts.get(entry.doc_id, 0) + 1
+        return counts
+
+    def popularity_ranks(self) -> List[Tuple[str, int]]:
+        """Documents ordered hottest-first with their counts."""
+        return sorted(
+            self.document_counts().items(), key=lambda kv: (-kv[1], kv[0])
+        )
+
+    def window(self, start: float, end: float) -> "Trace":
+        """The sub-trace with ``start <= time < end``."""
+        if end < start:
+            raise ValueError("end must be >= start")
+        return Trace(e for e in self._entries if start <= e.time < end)
+
+    def shifted(self, offset: float) -> "Trace":
+        """A copy with every arrival time moved by ``offset`` (>= 0 result)."""
+        out = []
+        for e in self._entries:
+            t = e.time + offset
+            if t < 0:
+                raise ValueError("shift would produce a negative time")
+            out.append(TraceEntry(t, e.origin, e.doc_id))
+        return Trace(out)
+
+    # ------------------------------------------------------------------
+    # Persistence (JSON lines)
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write the trace as one JSON object per line."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as fh:
+            for entry in self._entries:
+                fh.write(
+                    json.dumps(
+                        {"t": entry.time, "o": entry.origin, "d": entry.doc_id}
+                    )
+                )
+                fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        """Read a trace previously written by :meth:`save`."""
+        entries = []
+        with Path(path).open("r", encoding="utf-8") as fh:
+            for line_no, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                    entries.append(
+                        TraceEntry(
+                            time=float(obj["t"]),
+                            origin=int(obj["o"]),
+                            doc_id=str(obj["d"]),
+                        )
+                    )
+                except (KeyError, ValueError, TypeError) as exc:
+                    raise ValueError(f"bad trace line {line_no}: {line!r}") from exc
+        return cls(entries)
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def schedule_into(self, scenario) -> int:
+        """Schedule every arrival into a scenario's simulator.
+
+        Replaces the scenario's own workload-driven arrival generation; use
+        with ``scenario.on_start()`` + ``scenario.sim.run(...)`` for full
+        control, or simply compare protocols on identical arrivals.
+        Returns the number of arrivals scheduled.
+        """
+        for entry in self._entries:
+            scenario.sim.at(
+                entry.time,
+                lambda origin=entry.origin, doc=entry.doc_id: scenario._new_request(
+                    origin, doc
+                ),
+            )
+        return len(self._entries)
+
+
+def record_trace(workload, streams, duration: float, kind: str = "poisson") -> Trace:
+    """Generate the arrival trace a workload would produce.
+
+    Draws from the same seeded arrival processes the scenario harness uses,
+    so a recorded trace replayed into a scenario reproduces that scenario's
+    arrivals exactly.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    entries: List[TraceEntry] = []
+    for (node, doc_id), process in sorted(
+        workload.arrival_processes(streams, kind=kind).items()
+    ):
+        t = 0.0
+        while True:
+            gap = process.next_gap()
+            if math.isinf(gap):
+                break
+            t += gap
+            if t > duration:
+                break
+            entries.append(TraceEntry(time=t, origin=node, doc_id=doc_id))
+    return Trace(entries)

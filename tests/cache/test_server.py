@@ -1,0 +1,136 @@
+"""Tests for cache servers and rate meters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.server import CacheServer, RateMeter
+
+
+class TestRateMeter:
+    def test_initial_rate_zero(self):
+        assert RateMeter().rate(0.0) == 0.0
+
+    def test_first_window_rate(self):
+        meter = RateMeter(window=1.0)
+        for k in range(10):
+            meter.record(k * 0.1)
+        assert meter.rate(1.0) == pytest.approx(10.0)
+
+    def test_ewma_converges_to_steady_rate(self):
+        meter = RateMeter(window=1.0, alpha=0.5)
+        t = 0.0
+        for _ in range(200):  # 20 windows at 5/sec
+            meter.record(t)
+            t += 0.2
+        assert meter.rate(t) == pytest.approx(5.0, rel=0.05)
+
+    def test_rate_decays_when_idle(self):
+        meter = RateMeter(window=1.0, alpha=0.5)
+        for k in range(10):
+            meter.record(k * 0.1)
+        busy = meter.rate(1.0)
+        idle = meter.rate(6.0)  # five empty windows
+        assert idle < busy / 4
+
+    def test_weighted_events(self):
+        meter = RateMeter(window=1.0)
+        meter.record(0.0, weight=7.0)
+        assert meter.rate(1.0) == pytest.approx(7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateMeter(window=0.0)
+        with pytest.raises(ValueError):
+            RateMeter(alpha=0.0)
+        with pytest.raises(ValueError):
+            RateMeter(alpha=1.5)
+
+
+class TestCacheServer:
+    def test_home_always_serves(self):
+        server = CacheServer(node=0, is_home=True)
+        assert server.wants_to_serve("anything", now=0.0)
+
+    def test_non_cached_never_served(self):
+        server = CacheServer(node=1)
+        server.serve_targets["d"] = 100.0
+        assert not server.wants_to_serve("d", now=0.0)
+
+    def test_cached_without_target_declines(self):
+        server = CacheServer(node=1)
+        server.install_copy("d")
+        assert not server.wants_to_serve("d", now=0.0)
+
+    def test_serves_until_target_reached(self):
+        server = CacheServer(node=1, meter_window=1.0)
+        server.install_copy("d")
+        server.serve_targets["d"] = 5.0
+        t = 0.0
+        served = 0
+        # offered 20/sec for 3 seconds; measured served rate should cap
+        # near the 5/sec target
+        for _ in range(60):
+            if server.wants_to_serve("d", t):
+                server.record_served(t, "d")
+                served += 1
+            t += 0.05
+        assert served < 25  # well below the 60 offered
+
+    def test_rate_accounting(self):
+        server = CacheServer(node=1)
+        server.install_copy("d")
+        for k in range(10):
+            server.record_served(k * 0.1, "d")
+            server.record_forwarded(k * 0.1, "e")
+        assert server.served_rate(1.0, "d") == pytest.approx(10.0)
+        assert server.served_rate(1.0) == pytest.approx(10.0)
+        assert server.forwarded_rate(1.0, "e") == pytest.approx(10.0)
+        assert server.requests_served == 10
+        assert server.requests_forwarded == 10
+
+    def test_forwarded_documents_sorted(self):
+        server = CacheServer(node=1)
+        for k in range(8):
+            server.record_forwarded(k * 0.1, "hot")
+        for k in range(2):
+            server.record_forwarded(k * 0.1, "cold")
+        docs = server.forwarded_documents(1.0)
+        assert [d for d, _ in docs] == ["hot", "cold"]
+
+    def test_unknown_doc_rates_zero(self):
+        server = CacheServer(node=1)
+        assert server.served_rate(0.0, "nope") == 0.0
+        assert server.forwarded_rate(0.0, "nope") == 0.0
+
+    def test_drop_copy_clears_target(self):
+        server = CacheServer(node=1)
+        server.install_copy("d")
+        server.serve_targets["d"] = 3.0
+        server.drop_copy("d")
+        assert not server.caches("d")
+        assert "d" not in server.serve_targets
+
+    def test_service_queueing(self):
+        server = CacheServer(node=1, capacity=10.0)  # 0.1 s per request
+        first = server.service_completion(0.0)
+        second = server.service_completion(0.0)
+        assert first == pytest.approx(0.1)
+        assert second == pytest.approx(0.2)  # queued behind the first
+
+    def test_service_idle_gap(self):
+        server = CacheServer(node=1, capacity=10.0)
+        server.service_completion(0.0)
+        later = server.service_completion(5.0)  # idle gap: starts at 5.0
+        assert later == pytest.approx(5.1)
+
+    def test_utilization(self):
+        server = CacheServer(node=1, capacity=10.0)
+        for _ in range(5):
+            server.service_completion(0.0)
+        assert server.utilization(1.0) == pytest.approx(0.5)
+        assert server.utilization(0.0) == 0.0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            CacheServer(node=0, capacity=0.0)

@@ -1,0 +1,81 @@
+"""Model-based property tests for CacheStore's LRU policy."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.store import CacheStore
+
+# operations: ("insert", doc) or ("touch", doc)
+_docs = st.sampled_from([f"d{k}" for k in range(8)])
+_ops = st.lists(
+    st.tuples(st.sampled_from(["insert", "touch"]), _docs),
+    min_size=1,
+    max_size=60,
+)
+
+
+class _ReferenceLru:
+    """A straightforward LRU model: OrderedDict with move_to_end."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.entries: "OrderedDict[str, None]" = OrderedDict()
+
+    def insert(self, doc: str) -> None:
+        if doc in self.entries:
+            self.entries.move_to_end(doc)
+            return
+        if len(self.entries) >= self.capacity:
+            self.entries.popitem(last=False)
+        self.entries[doc] = None
+
+    def touch(self, doc: str) -> None:
+        if doc in self.entries:
+            self.entries.move_to_end(doc)
+
+
+@given(ops=_ops, capacity=st.integers(min_value=1, max_value=5))
+@settings(max_examples=150)
+def test_lru_matches_reference_model(ops, capacity):
+    store = CacheStore(capacity=capacity, policy="lru")
+    model = _ReferenceLru(capacity)
+    for op, doc in ops:
+        if op == "insert":
+            store.insert(doc)
+            model.insert(doc)
+        else:
+            store.touch(doc)
+            model.touch(doc)
+        assert set(store.doc_ids) == set(model.entries)
+        assert len(store) <= capacity
+
+
+@given(ops=_ops, capacity=st.integers(min_value=1, max_value=5))
+@settings(max_examples=100)
+def test_capacity_never_exceeded_any_policy(ops, capacity):
+    for policy in ("lru", "lfu"):
+        store = CacheStore(capacity=capacity, policy=policy)
+        for op, doc in ops:
+            if op == "insert":
+                store.insert(doc)
+            else:
+                store.touch(doc)
+            assert len(store) <= capacity
+
+
+@given(ops=_ops)
+@settings(max_examples=60)
+def test_stats_consistent(ops):
+    store = CacheStore(capacity=3, policy="lru")
+    for op, doc in ops:
+        if op == "insert":
+            store.insert(doc)
+        else:
+            store.touch(doc)
+    assert store.hits + store.misses >= 0
+    assert store.insertions >= len(store)
+    assert store.evictions == store.insertions - len(store)

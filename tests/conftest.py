@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite (strategies live in tests/helpers.py)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.tree import RoutingTree
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for non-hypothesis randomized tests."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def small_tree():
+    """The Figure 2 tree: 0 <- {1, 2}; 1 <- {3, 4}."""
+    return RoutingTree([0, 0, 0, 1, 1])

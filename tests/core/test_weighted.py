@@ -1,0 +1,134 @@
+"""Tests for capacity-weighted TLB (repro.core.weighted)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import is_feasible
+from repro.core.tree import chain_tree, kary_tree, star_tree
+from repro.core.webfold import webfold
+from repro.core.weighted import (
+    WeightedWebWaveSimulator,
+    weighted_webfold,
+)
+
+from tests.helpers import trees_with_rates
+
+
+class TestWeightedWebfold:
+    def test_uniform_capacity_reduces_to_webfold(self):
+        tree = kary_tree(2, 3)
+        rng = random.Random(1)
+        rates = [rng.uniform(0, 50) for _ in range(tree.n)]
+        weighted = weighted_webfold(tree, rates, [7.0] * tree.n)
+        plain = webfold(tree, rates)
+        assert weighted.assignment.almost_equal(plain.assignment, tol=1e-8)
+        assert set(weighted.folds) == set(plain.folds)
+
+    def test_load_proportional_to_capacity_within_fold(self):
+        tree = chain_tree(3)
+        # all demand at the leaf; capacities 1:2:3
+        result = weighted_webfold(tree, [0, 0, 60], [10.0, 20.0, 30.0])
+        loads = result.assignment.served
+        # one fold: intensity 60/60 = 1.0, loads = capacities
+        assert loads == pytest.approx((10.0, 20.0, 30.0))
+        assert result.max_utilization == pytest.approx(1.0)
+
+    def test_utilization_equal_within_fold(self):
+        tree = kary_tree(2, 2)
+        rng = random.Random(5)
+        rates = [rng.uniform(0, 30) for _ in range(tree.n)]
+        caps = [rng.uniform(1, 9) for _ in range(tree.n)]
+        result = weighted_webfold(tree, rates, caps)
+        utils = result.utilizations()
+        for fold in result.folds.values():
+            values = {round(utils[m], 9) for m in fold.members}
+            assert len(values) == 1
+
+    def test_utilization_monotone_root_to_leaf(self):
+        tree = kary_tree(3, 2)
+        rng = random.Random(7)
+        rates = [rng.uniform(0, 30) for _ in range(tree.n)]
+        caps = [rng.uniform(1, 9) for _ in range(tree.n)]
+        utils = weighted_webfold(tree, rates, caps).utilizations()
+        for i in tree:
+            parent = tree.parent(i)
+            if parent is not None:
+                assert utils[parent] >= utils[i] - 1e-9
+
+    def test_feasible(self):
+        tree = star_tree(5)
+        result = weighted_webfold(tree, [0, 10, 0, 40, 5], [1, 2, 3, 4, 5])
+        assert is_feasible(result.assignment)
+
+    def test_validation(self):
+        tree = chain_tree(2)
+        with pytest.raises(ValueError, match="capacities"):
+            weighted_webfold(tree, [1, 1], [1.0])
+        with pytest.raises(ValueError, match="positive"):
+            weighted_webfold(tree, [1, 1], [1.0, 0.0])
+
+    @given(trees_with_rates(max_nodes=20))
+    @settings(max_examples=40)
+    def test_feasibility_property(self, tree_rates):
+        tree, rates = tree_rates
+        rng = random.Random(42)
+        caps = [rng.uniform(0.5, 10.0) for _ in range(tree.n)]
+        result = weighted_webfold(tree, rates, caps)
+        assert is_feasible(result.assignment, tol=1e-6)
+        # conservation
+        assert result.assignment.total_served == pytest.approx(
+            sum(rates), abs=1e-6
+        )
+
+    @given(trees_with_rates(max_nodes=20))
+    @settings(max_examples=40)
+    def test_capacity_scaling_invariance(self, tree_rates):
+        """Scaling all capacities leaves the load assignment unchanged."""
+        tree, rates = tree_rates
+        rng = random.Random(9)
+        caps = [rng.uniform(0.5, 10.0) for _ in range(tree.n)]
+        a = weighted_webfold(tree, rates, caps)
+        b = weighted_webfold(tree, rates, [c * 4.0 for c in caps])
+        assert a.assignment.almost_equal(b.assignment, tol=1e-6)
+
+
+class TestWeightedDiffusion:
+    def test_converges_to_weighted_tlb(self):
+        tree = kary_tree(2, 2)
+        rng = random.Random(3)
+        rates = [rng.uniform(0, 40) for _ in range(tree.n)]
+        caps = [rng.uniform(1, 8) for _ in range(tree.n)]
+        sim = WeightedWebWaveSimulator(tree, rates, caps)
+        result = sim.run(max_rounds=30000, tolerance=1e-4)
+        assert result.converged
+        assert result.final.almost_equal(result.target, tol=0.01)
+
+    def test_conserves_total(self):
+        tree = chain_tree(4)
+        sim = WeightedWebWaveSimulator(
+            tree, [0, 5, 0, 35], [1.0, 2.0, 4.0, 8.0]
+        )
+        total = sim.assignment().total_served
+        for _ in range(50):
+            sim.step()
+            assert sim.assignment().total_served == pytest.approx(total)
+
+    def test_heavy_node_serves_more(self):
+        tree = chain_tree(2)
+        # leaf generates 30; root has 9x the capacity of the leaf
+        sim = WeightedWebWaveSimulator(tree, [0, 30], [9.0, 1.0])
+        result = sim.run(max_rounds=20000, tolerance=1e-5)
+        assert result.converged
+        assert result.final.served_of(0) == pytest.approx(27.0, abs=0.01)
+        assert result.final.served_of(1) == pytest.approx(3.0, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightedWebWaveSimulator(chain_tree(2), [1, 1], [1.0])
+        with pytest.raises(ValueError):
+            WeightedWebWaveSimulator(chain_tree(2), [1, 1], [1.0, -1.0])

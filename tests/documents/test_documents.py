@@ -1,0 +1,147 @@
+"""Tests for documents: Document, Catalog, popularity models."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.documents.catalog import Catalog
+from repro.documents.document import Document, DocumentError
+from repro.documents.popularity import (
+    ZipfPopularity,
+    uniform_popularity,
+    zipf_weights,
+)
+
+
+class TestDocument:
+    def test_valid(self):
+        doc = Document("a/b.html", home=0, size=1024)
+        assert doc.doc_id == "a/b.html"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(DocumentError):
+            Document("", home=0)
+
+    def test_negative_home_rejected(self):
+        with pytest.raises(DocumentError):
+            Document("x", home=-1)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(DocumentError):
+            Document("x", home=0, size=0)
+
+    def test_immutable(self):
+        doc = Document("x", home=0)
+        with pytest.raises(AttributeError):
+            doc.size = 99
+
+
+class TestCatalog:
+    def test_add_and_get(self):
+        catalog = Catalog(home=2)
+        doc = Document("x", home=2)
+        catalog.add(doc)
+        assert catalog.get("x") is doc
+        assert "x" in catalog
+        assert len(catalog) == 1
+
+    def test_home_mismatch_rejected(self):
+        catalog = Catalog(home=2)
+        with pytest.raises(DocumentError, match="home"):
+            catalog.add(Document("x", home=3))
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog(home=0, documents=[Document("x", home=0)])
+        with pytest.raises(DocumentError, match="duplicate"):
+            catalog.add(Document("x", home=0))
+
+    def test_unknown_get(self):
+        with pytest.raises(DocumentError, match="unknown"):
+            Catalog(home=0).get("nope")
+
+    def test_iteration_sorted(self):
+        catalog = Catalog(
+            home=0,
+            documents=[Document("b", 0), Document("a", 0), Document("c", 0)],
+        )
+        assert [d.doc_id for d in catalog] == ["a", "b", "c"]
+        assert catalog.doc_ids == ("a", "b", "c")
+
+    def test_generate(self):
+        catalog = Catalog.generate(home=1, count=5, prefix="d", size=100)
+        assert len(catalog) == 5
+        assert all(d.size == 100 for d in catalog)
+        assert all(d.home == 1 for d in catalog)
+
+    def test_generate_random_sizes(self):
+        catalog = Catalog.generate(
+            home=0,
+            count=50,
+            size_rng=random.Random(1),
+            size_range=(1_000, 1_000_000),
+        )
+        sizes = [d.size for d in catalog]
+        assert all(1_000 <= s <= 1_000_000 for s in sizes)
+        assert len(set(sizes)) > 10  # actually random
+
+
+class TestZipfWeights:
+    def test_sum_to_one(self):
+        assert sum(zipf_weights(10, 1.0)) == pytest.approx(1.0)
+
+    def test_rank_ordering(self):
+        w = zipf_weights(5, 1.0)
+        assert w == sorted(w, reverse=True)
+
+    def test_s_zero_uniform(self):
+        assert zipf_weights(4, 0.0) == pytest.approx([0.25] * 4)
+
+    def test_uniform_popularity_alias(self):
+        assert uniform_popularity(4) == pytest.approx([0.25] * 4)
+
+    def test_higher_s_more_skewed(self):
+        flat = zipf_weights(10, 0.5)
+        steep = zipf_weights(10, 1.5)
+        assert steep[0] > flat[0]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(3, -1.0)
+
+
+class TestZipfPopularity:
+    def test_weight_lookup(self):
+        pop = ZipfPopularity(("a", "b", "c"), s=1.0)
+        assert pop.weight("a") > pop.weight("b") > pop.weight("c")
+        assert sum(pop.weights()) == pytest.approx(1.0)
+
+    def test_unknown_document(self):
+        with pytest.raises(KeyError):
+            ZipfPopularity(("a",)).weight("z")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfPopularity(())
+
+    def test_split_rate(self):
+        pop = ZipfPopularity(("a", "b"), s=0.0)
+        assert pop.split_rate(10.0) == [("a", 5.0), ("b", 5.0)]
+
+    def test_split_rate_negative(self):
+        with pytest.raises(ValueError):
+            ZipfPopularity(("a",)).split_rate(-1.0)
+
+    def test_sampling_distribution(self):
+        pop = ZipfPopularity(tuple("abcdef"), s=1.0)
+        rng = random.Random(5)
+        counts = {d: 0 for d in pop.doc_ids}
+        trials = 20_000
+        for _ in range(trials):
+            counts[pop.sample(rng)] += 1
+        for doc in pop.doc_ids:
+            expected = pop.weight(doc)
+            assert counts[doc] / trials == pytest.approx(expected, abs=0.02)

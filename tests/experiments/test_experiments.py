@@ -1,0 +1,125 @@
+"""Tests for the experiment harness: each figure reproduces its claim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constraints import is_gle
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.gamma import run_gamma_study
+from repro.experiments.paper_trees import fig6a_rates, fig6a_tree
+
+
+class TestFig2:
+    def test_claims(self):
+        result = run_fig2()
+        assert result.gle_a is True
+        assert result.gle_b is False
+        # part (b): the empty-subtree node is pinned at zero, others above
+        # the GLE mean
+        assert result.loads_b[2] == 0.0
+        mean_b = sum(result.rates_b) / len(result.rates_b)
+        assert max(result.loads_b) > mean_b
+
+    def test_report(self):
+        text = run_fig2().report()
+        assert "TLB" in text and "GLE" in text
+
+
+class TestFig4:
+    def test_folding_sequence_is_complete(self):
+        result = run_fig4()
+        n = len(result.loads)
+        assert len(result.trace) == n - len(result.folds)
+
+    def test_not_gle(self):
+        assert run_fig4().is_gle is False
+
+    def test_fold_loads_distinct(self):
+        result = run_fig4()
+        values = {round(result.loads[root], 6) for root in result.folds}
+        assert len(values) >= 3  # several fold patterns, per the caption
+
+    def test_report(self):
+        text = run_fig4().report()
+        assert "step" in text and "Final folds" in text
+
+
+class TestFig6:
+    def test_variety_of_folds(self):
+        result = run_fig6(max_rounds=2000, tolerance=1e-5)
+        sizes = sorted(len(m) for m in result.folds.values())
+        assert sizes[0] == 1  # singleton folds
+        assert sizes[-1] >= 4  # a deep/large fold
+        assert len(result.folds) >= 5
+
+    def test_exponential_convergence(self):
+        result = run_fig6(max_rounds=2000, tolerance=1e-5)
+        assert result.converged
+        fit = result.fit
+        assert 0.5 < fit.gamma < 1.0
+        assert fit.r_squared > 0.8
+
+    def test_distance_monotone(self):
+        result = run_fig6(max_rounds=2000, tolerance=1e-5)
+        for earlier, later in zip(result.distances, result.distances[1:]):
+            assert later <= earlier + 1e-9
+
+    def test_tlb_not_gle_here(self):
+        tree = fig6a_tree()
+        rates = fig6a_rates()
+        from repro.core.webfold import webfold
+
+        assert not is_gle(webfold(tree, rates).assignment)
+
+    def test_report(self):
+        text = run_fig6(max_rounds=2000, tolerance=1e-5).report()
+        assert "Figure 6a" in text and "Figure 6b" in text
+
+
+class TestFig7:
+    def test_paper_numbers(self):
+        result = run_fig7()
+        # TLB: every node serves 90 (the paper's stated optimum)
+        assert result.target_loads == pytest.approx((90.0,) * 4)
+        assert result.initial_loads == (120.0, 120.0, 0.0, 120.0)
+        assert result.initial_barriers == (1,)
+
+    def test_wedged_vs_recovered(self):
+        result = run_fig7()
+        assert not result.converged_no_tunneling
+        assert result.converged_tunneling
+        assert result.distance_no_tunneling > 100.0
+        assert result.distance_tunneling < 1.0
+
+    def test_single_tunnel_suffices(self):
+        result = run_fig7()
+        assert len(result.tunnel_events) == 1
+        assert result.tunnel_events[0].document == "d3"
+
+    def test_report(self):
+        text = run_fig7().report()
+        assert "barrier" in text and "tunnel" in text
+
+
+class TestGammaStudy:
+    def test_small_study(self):
+        study = run_gamma_study(depth=5, trials=3, max_rounds=1500, tolerance=1e-6)
+        assert len(study.trials) == 3
+        for trial in study.trials:
+            assert trial.converged
+            assert 0.0 < trial.fit.gamma < 1.0
+            assert trial.fit.r_squared > 0.5
+        assert 0.0 < study.mean_gamma < 1.0
+
+    def test_depth_respected(self):
+        study = run_gamma_study(depth=4, trials=2, max_rounds=1500, tolerance=1e-6)
+        assert study.depth == 4
+
+    def test_report(self):
+        study = run_gamma_study(depth=4, trials=2, max_rounds=1500, tolerance=1e-6)
+        text = study.report()
+        assert "gamma" in text and "paper" in text

@@ -1,0 +1,51 @@
+"""Tests for the experiment registry and CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main, run_experiment
+
+
+class TestRegistry:
+    def test_all_figures_present(self):
+        for exp_id in ("fig2", "fig4", "fig6", "fig7", "gamma"):
+            assert exp_id in EXPERIMENTS
+
+    def test_extensions_present(self):
+        for exp_id in (
+            "scalability",
+            "diffusion",
+            "alpha",
+            "delay",
+            "tunneling",
+            "overhead",
+            "weighted",
+            "async",
+            "dynamics",
+            "forest",
+        ):
+            assert exp_id in EXPERIMENTS
+
+    def test_run_experiment_unknown(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("nope")
+
+    def test_run_experiment_returns_reportable(self):
+        result = run_experiment("fig2")
+        assert isinstance(result.report(), str)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+
+    def test_run_one(self, capsys):
+        assert main(["run", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "TLB" in out
+
+    def test_run_unknown_sets_status(self, capsys):
+        assert main(["run", "bogus"]) == 2

@@ -1,0 +1,49 @@
+"""Shared hypothesis strategies and assertion helpers for the test suite."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.tree import RoutingTree
+
+
+@st.composite
+def routing_trees(draw, min_nodes: int = 1, max_nodes: int = 30):
+    """A random routing tree built from a drawn parent map."""
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    # node i > 0 attaches to a uniformly drawn earlier node: always a tree
+    parents = [0]
+    for i in range(1, n):
+        parents.append(draw(st.integers(min_value=0, max_value=i - 1)))
+    return RoutingTree(parents)
+
+
+@st.composite
+def trees_with_rates(
+    draw,
+    min_nodes: int = 1,
+    max_nodes: int = 30,
+    max_rate: float = 100.0,
+    integral: bool = False,
+):
+    """(tree, spontaneous rates) pairs; rates are non-negative."""
+    tree = draw(routing_trees(min_nodes=min_nodes, max_nodes=max_nodes))
+    if integral:
+        rate = st.integers(min_value=0, max_value=int(max_rate)).map(float)
+    else:
+        rate = st.floats(
+            min_value=0.0, max_value=max_rate, allow_nan=False, allow_infinity=False
+        )
+    rates = draw(st.lists(rate, min_size=tree.n, max_size=tree.n))
+    return tree, rates
+
+
+def assert_feasible(assignment, tol: float = 1e-6) -> None:
+    """Assert Constraints 1 and 2 hold for a load assignment."""
+    root = assignment.tree.root
+    forwarded = assignment.forwarded
+    assert abs(forwarded[root]) <= tol, f"A_root={forwarded[root]}"
+    for i, a in enumerate(forwarded):
+        assert a >= -tol, f"NSS violated at node {i}: A={a}"
+    for i, l in enumerate(assignment.served):
+        assert l >= -tol, f"negative served load at {i}: {l}"

@@ -1,0 +1,154 @@
+"""Tests for the baseline protocols."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tree import kary_tree
+from repro.documents.catalog import Catalog
+from repro.protocols.baselines import (
+    DirectoryConfig,
+    DirectoryScenario,
+    IcpConfig,
+    IcpScenario,
+    NoCacheScenario,
+    PushConfig,
+    PushScenario,
+)
+from repro.protocols.scenario import ScenarioConfig
+from repro.traffic.workload import hot_document_workload
+
+
+def make_workload(height=2, rate=6.0, documents=5):
+    tree = kary_tree(2, height)
+    catalog = Catalog.generate(home=tree.root, count=documents)
+    rates = [0.0] + [rate] * (tree.n - 1)
+    return hot_document_workload(tree, catalog, rates, zipf_s=0.9)
+
+
+def config(**overrides):
+    defaults = dict(duration=20.0, warmup=5.0, seed=2, default_capacity=100.0)
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+class TestNoCache:
+    def test_home_serves_everything(self):
+        metrics = NoCacheScenario(make_workload(), config()).run()
+        assert metrics.home_share == 1.0
+
+    def test_saturates_at_home_capacity(self):
+        wl = make_workload(rate=20.0)  # 120/s offered
+        metrics = NoCacheScenario(wl, config(default_capacity=25.0)).run()
+        assert metrics.throughput < 30.0
+
+    def test_hops_equal_depth(self):
+        scenario = NoCacheScenario(make_workload(), config())
+        scenario.run()
+        for request in scenario._finished[:100]:
+            assert request.hops == scenario.tree.depth(request.origin)
+
+
+class TestDirectory:
+    def test_all_served(self):
+        metrics = DirectoryScenario(make_workload(), config()).run()
+        assert metrics.completed > 0
+
+    def test_queries_counted(self):
+        scenario = DirectoryScenario(make_workload(), config())
+        metrics = scenario.run()
+        assert metrics.messages["directory_query"] == scenario.directory_queries
+        assert scenario.directory_queries >= metrics.completed
+
+    def test_replication_spreads_hot_docs(self):
+        wl = make_workload(rate=20.0)
+        scenario = DirectoryScenario(
+            wl,
+            config(default_capacity=40.0),
+            directory=DirectoryConfig(replicate_period=1.0),
+        )
+        scenario.run()
+        replicated = [d for d, holders in scenario.replicas.items() if len(holders) > 1]
+        assert replicated
+
+    def test_query_capacity_bottleneck(self):
+        wl = make_workload(rate=20.0)
+        slow = DirectoryScenario(
+            wl,
+            config(default_capacity=40.0),
+            directory=DirectoryConfig(query_capacity=30.0),
+        ).run()
+        fast = DirectoryScenario(
+            wl,
+            config(default_capacity=40.0),
+            directory=DirectoryConfig(query_capacity=100000.0),
+        ).run()
+        # the directory lookup queue throttles completion within the window
+        assert slow.completed < fast.completed
+        assert slow.mean_response_time > fast.mean_response_time
+
+    def test_replica_pick_is_holder(self):
+        scenario = DirectoryScenario(make_workload(), config())
+        scenario.run()
+        for request in scenario._finished:
+            assert request.served_by in scenario.replicas[request.doc_id]
+
+
+class TestIcp:
+    def test_demand_fill_builds_caches(self):
+        scenario = IcpScenario(make_workload(), config())
+        scenario.run()
+        cached_nodes = [
+            i for i in scenario.tree if len(scenario.servers[i].store) > 0
+        ]
+        assert len(cached_nodes) > 1
+
+    def test_probe_messages_counted(self):
+        scenario = IcpScenario(make_workload(), config())
+        metrics = scenario.run()
+        assert metrics.messages.get("icp_probe", 0) > 0
+
+    def test_no_demand_fill_keeps_caches_empty(self):
+        scenario = IcpScenario(
+            make_workload(), config(), icp=IcpConfig(demand_fill=False)
+        )
+        metrics = scenario.run()
+        assert metrics.home_share == 1.0
+
+    def test_hit_serves_locally_after_warmup(self):
+        scenario = IcpScenario(make_workload(), config())
+        metrics = scenario.run()
+        # demand-fill places copies at origins: most load leaves the home
+        assert metrics.home_share < 0.5
+
+
+class TestPush:
+    def test_pushed_copies_installed(self):
+        scenario = PushScenario(
+            make_workload(), config(), push=PushConfig(push_period=2.0, top_k=2)
+        )
+        metrics = scenario.run()
+        pushed = [
+            i
+            for i in scenario.tree
+            if scenario.tree.depth(i) == 1 and len(scenario.servers[i].store) > 0
+        ]
+        assert pushed
+        assert metrics.messages.get("copy_transfer", 0) > 0
+
+    def test_depth_respected(self):
+        scenario = PushScenario(
+            make_workload(height=3), config(), push=PushConfig(depth=1, top_k=3)
+        )
+        scenario.run()
+        for node in scenario.tree:
+            if scenario.tree.depth(node) > 1 and node != scenario.tree.root:
+                assert len(scenario.servers[node].store) == 0
+
+    def test_offloads_home_somewhat(self):
+        wl = make_workload(rate=10.0)
+        push = PushScenario(
+            wl, config(), push=PushConfig(push_period=1.0, top_k=5)
+        ).run()
+        nocache = NoCacheScenario(wl, config()).run()
+        assert push.home_share < nocache.home_share

@@ -1,0 +1,96 @@
+"""Failure-injection tests: WebWave's directory-free robustness.
+
+A crashed cache server loses its copies and stops diverting; requests keep
+climbing the tree toward the home, so nothing is lost - service degrades to
+the no-cache path and diffusion rebuilds copies after recovery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tree import kary_tree
+from repro.documents.catalog import Catalog
+from repro.protocols.scenario import Scenario, ScenarioConfig
+from repro.protocols.webwave import WebWaveScenario
+from repro.traffic.workload import hot_document_workload
+
+
+def make_workload(rate=8.0):
+    tree = kary_tree(2, 2)
+    catalog = Catalog.generate(home=0, count=4)
+    rates = [0.0] + [rate] * (tree.n - 1)
+    return hot_document_workload(tree, catalog, rates, zipf_s=0.8)
+
+
+class TestScheduleFailure:
+    def test_home_cannot_fail(self):
+        scenario = Scenario(make_workload(), ScenarioConfig(duration=5.0, warmup=1.0))
+        with pytest.raises(ValueError, match="home"):
+            scenario.schedule_failure(0, at=1.0)
+
+    def test_recovery_after_failure_required(self):
+        scenario = Scenario(make_workload(), ScenarioConfig(duration=5.0, warmup=1.0))
+        with pytest.raises(ValueError, match="recovery"):
+            scenario.schedule_failure(1, at=2.0, until=2.0)
+
+    def test_crash_clears_cache_and_filter(self):
+        scenario = WebWaveScenario(
+            make_workload(), ScenarioConfig(duration=20.0, warmup=5.0, seed=3)
+        )
+        scenario.schedule_failure(1, at=15.0)
+        scenario.run()
+        assert scenario.servers[1].failed
+        assert len(scenario.servers[1].store) == 0
+        own = scenario.routers[1].filters.filter_of(1)
+        assert len(own.doc_ids) == 0
+        assert scenario.messages.get("node_failure") == 1
+
+    def test_recovery_flag(self):
+        scenario = WebWaveScenario(
+            make_workload(), ScenarioConfig(duration=20.0, warmup=5.0, seed=3)
+        )
+        scenario.schedule_failure(1, at=8.0, until=12.0)
+        scenario.run()
+        assert not scenario.servers[1].failed
+        assert scenario.messages.get("node_recovery") == 1
+
+
+class TestServiceContinuity:
+    def test_no_request_lost_across_failures(self):
+        workload = make_workload()
+        config = ScenarioConfig(duration=30.0, warmup=5.0, seed=9)
+        scenario = WebWaveScenario(workload, config)
+        scenario.schedule_failure(1, at=10.0, until=20.0)
+        scenario.schedule_failure(2, at=12.0)
+        metrics = scenario.run()
+        # every post-warmup request completed despite two crashes
+        assert metrics.completed == metrics.generated
+        # and the directory-free invariant survives failures
+        for request in scenario._finished:
+            assert request.served_by in scenario.tree.path_to_root(request.origin)
+
+    def test_failed_node_serves_nothing_while_down(self):
+        workload = make_workload()
+        config = ScenarioConfig(duration=30.0, warmup=5.0, seed=9)
+        scenario = WebWaveScenario(workload, config)
+        scenario.schedule_failure(1, at=10.0, until=25.0)
+        scenario.run()
+        served_while_down = [
+            r
+            for r in scenario._finished
+            if r.served_by == 1 and r.served_at is not None and 10.0 < r.served_at < 25.0
+        ]
+        assert served_while_down == []
+
+    def test_copies_rebuilt_after_recovery(self):
+        workload = make_workload(rate=15.0)
+        config = ScenarioConfig(
+            duration=60.0, warmup=10.0, seed=4, default_capacity=20.0
+        )
+        scenario = WebWaveScenario(workload, config)
+        # crash a level-1 node early, recover mid-run
+        scenario.schedule_failure(1, at=15.0, until=25.0)
+        scenario.run()
+        # diffusion re-delegated documents to the recovered node
+        assert len(scenario.servers[1].store) > 0

@@ -1,0 +1,185 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.at(3.0, lambda: log.append("c"))
+        sim.at(1.0, lambda: log.append("a"))
+        sim.at(2.0, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.at(1.0, lambda i=i: log.append(i))
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_ties(self):
+        sim = Simulator()
+        log = []
+        sim.at(1.0, lambda: log.append("low"), priority=5)
+        sim.at(1.0, lambda: log.append("high"), priority=0)
+        sim.run()
+        assert log == ["high", "low"]
+
+    def test_after_relative(self):
+        sim = Simulator()
+        times = []
+        sim.at(2.0, lambda: sim.after(0.5, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [2.5]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        sim.at(4.2, lambda: None)
+        sim.run()
+        assert sim.now == 4.2
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError, match="before now"):
+            sim.at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().after(-1.0, lambda: None)
+
+    def test_non_finite_time_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().at(float("inf"), lambda: None)
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for t in range(3):
+            sim.at(float(t + 1), lambda: None)
+        sim.run()
+        assert sim.events_executed == 3
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        log = []
+        handle = sim.at(1.0, lambda: log.append("x"))
+        handle.cancel()
+        sim.run()
+        assert log == []
+        assert handle.cancelled
+
+    def test_cancel_idempotent(self):
+        sim = Simulator()
+        handle = sim.at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+
+    def test_pending_counts_only_live(self):
+        sim = Simulator()
+        keep = sim.at(1.0, lambda: None)
+        drop = sim.at(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending == 1
+
+
+class TestRunLimits:
+    def test_until_stops_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.at(1.0, lambda: fired.append(1))
+        sim.at(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()  # resume drains the rest
+        assert fired == [1, 10]
+
+    def test_max_events(self):
+        sim = Simulator()
+        log = []
+        for t in range(10):
+            sim.at(float(t + 1), lambda t=t: log.append(t))
+        sim.run(max_events=4)
+        assert log == [0, 1, 2, 3]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_step_executes_one(self):
+        sim = Simulator()
+        log = []
+        sim.at(1.0, lambda: log.append(1))
+        sim.at(2.0, lambda: log.append(2))
+        assert sim.step() is True
+        assert log == [1]
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        error = []
+
+        def recurse():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                error.append(exc)
+
+        sim.at(1.0, recurse)
+        sim.run()
+        assert error
+
+
+class TestPeriodic:
+    def test_every_fires_at_period(self):
+        sim = Simulator()
+        times = []
+        sim.every(1.0, lambda: times.append(sim.now))
+        sim.run(until=4.5)
+        assert times == [1.0, 2.0, 3.0, 4.0]
+
+    def test_every_custom_start(self):
+        sim = Simulator()
+        times = []
+        sim.every(2.0, lambda: times.append(sim.now), start=0.5)
+        sim.run(until=5.0)
+        assert times == [0.5, 2.5, 4.5]
+
+    def test_cancel_stops_timer(self):
+        sim = Simulator()
+        times = []
+        cancel = sim.every(1.0, lambda: times.append(sim.now))
+        sim.at(2.5, cancel)
+        sim.run(until=10.0)
+        assert times == [1.0, 2.0]
+
+    def test_bad_period(self):
+        with pytest.raises(SimulationError):
+            Simulator().every(0.0, lambda: None)
+
+    def test_cascading_events_deterministic(self):
+        # two runs with identical schedules produce identical traces
+        def build():
+            sim = Simulator()
+            log = []
+
+            def tick(depth):
+                log.append((round(sim.now, 6), depth))
+                if depth < 3:
+                    sim.after(0.1, lambda: tick(depth + 1))
+                    sim.after(0.2, lambda: tick(depth + 1))
+
+            sim.at(0.0, lambda: tick(0))
+            sim.run()
+            return log
+
+        assert build() == build()

@@ -1,0 +1,114 @@
+"""Tests for arrival processes."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.traffic.arrivals import (
+    ConstantArrivals,
+    ParetoOnOffArrivals,
+    PoissonArrivals,
+)
+
+
+class TestConstant:
+    def test_gap_is_inverse_rate(self):
+        process = ConstantArrivals(4.0)
+        assert process.next_gap() == 0.25
+        assert process.mean_rate == 4.0
+
+    def test_zero_rate_never_arrives(self):
+        assert math.isinf(ConstantArrivals(0.0).next_gap())
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantArrivals(-1.0)
+
+    def test_gaps_iterator_limit(self):
+        gaps = list(ConstantArrivals(2.0).gaps(limit=3))
+        assert gaps == [0.5, 0.5, 0.5]
+
+    def test_gaps_iterator_stops_on_inf(self):
+        assert list(ConstantArrivals(0.0).gaps(limit=5)) == []
+
+
+class TestPoisson:
+    def test_mean_rate_statistics(self):
+        process = PoissonArrivals(10.0, random.Random(3))
+        gaps = [process.next_gap() for _ in range(20_000)]
+        assert sum(gaps) / len(gaps) == pytest.approx(0.1, rel=0.05)
+
+    def test_zero_rate(self):
+        assert math.isinf(PoissonArrivals(0.0, random.Random(0)).next_gap())
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(-2.0, random.Random(0))
+
+    def test_deterministic_for_seed(self):
+        a = PoissonArrivals(5.0, random.Random(9))
+        b = PoissonArrivals(5.0, random.Random(9))
+        assert [a.next_gap() for _ in range(10)] == [
+            b.next_gap() for _ in range(10)
+        ]
+
+    def test_mean_rate_property(self):
+        assert PoissonArrivals(7.5, random.Random(0)).mean_rate == 7.5
+
+
+class TestParetoOnOff:
+    def test_long_run_rate_close_to_mean(self):
+        # shape 1.9 keeps the tail heavy but lets the sample mean converge
+        # within a feasible horizon (at 1.5 a single giant OFF period can
+        # dominate any test-sized window)
+        process = ParetoOnOffArrivals(
+            burst_rate=20.0,
+            rng=random.Random(4),
+            mean_on=1.0,
+            mean_off=1.0,
+            shape=1.9,
+        )
+        total_time = 0.0
+        count = 0
+        while total_time < 20_000.0:
+            total_time += process.next_gap()
+            count += 1
+        measured = count / total_time
+        assert measured == pytest.approx(process.mean_rate, rel=0.25)
+
+    def test_mean_rate_formula(self):
+        process = ParetoOnOffArrivals(
+            burst_rate=30.0, rng=random.Random(0), mean_on=1.0, mean_off=2.0
+        )
+        assert process.mean_rate == pytest.approx(10.0)
+
+    def test_burstiness_exceeds_poisson(self):
+        # coefficient of variation of gaps should exceed Poisson's 1.0
+        process = ParetoOnOffArrivals(
+            burst_rate=50.0, rng=random.Random(8), mean_on=0.5, mean_off=2.0
+        )
+        gaps = [process.next_gap() for _ in range(30_000)]
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        cv = math.sqrt(var) / mean
+        assert cv > 1.5
+
+    def test_zero_rate(self):
+        process = ParetoOnOffArrivals(0.0, random.Random(0))
+        assert math.isinf(process.next_gap())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"burst_rate": -1.0},
+            {"burst_rate": 1.0, "mean_on": 0.0},
+            {"burst_rate": 1.0, "mean_off": -1.0},
+            {"burst_rate": 1.0, "shape": 1.0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            ParetoOnOffArrivals(rng=random.Random(0), **kwargs)

@@ -1,0 +1,144 @@
+"""Tests for request traces (record / persist / replay / stats)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tree import kary_tree
+from repro.documents.catalog import Catalog
+from repro.protocols.scenario import Scenario, ScenarioConfig
+from repro.sim.rng import RngStreams
+from repro.traffic.trace import Trace, TraceEntry, record_trace
+from repro.traffic.workload import hot_document_workload
+
+
+def make_workload(rate=4.0):
+    tree = kary_tree(2, 2)
+    catalog = Catalog.generate(home=0, count=3)
+    rates = [0.0] + [rate] * (tree.n - 1)
+    return hot_document_workload(tree, catalog, rates, zipf_s=0.8)
+
+
+class TestTraceEntry:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceEntry(time=-1.0, origin=0, doc_id="d")
+        with pytest.raises(ValueError):
+            TraceEntry(time=0.0, origin=-1, doc_id="d")
+        with pytest.raises(ValueError):
+            TraceEntry(time=0.0, origin=0, doc_id="")
+
+    def test_ordering(self):
+        a = TraceEntry(1.0, 0, "d")
+        b = TraceEntry(2.0, 0, "d")
+        assert a < b
+
+
+class TestTraceBasics:
+    def test_sorted_on_construction(self):
+        trace = Trace(
+            [TraceEntry(5.0, 0, "a"), TraceEntry(1.0, 1, "b")]
+        )
+        assert [e.time for e in trace] == [1.0, 5.0]
+        assert trace.duration == 5.0
+        assert len(trace) == 2
+        assert trace[0].doc_id == "b"
+
+    def test_empty(self):
+        trace = Trace()
+        assert len(trace) == 0
+        assert trace.duration == 0.0
+
+    def test_node_rates(self):
+        trace = Trace(
+            [TraceEntry(t, 1, "a") for t in (1.0, 2.0, 3.0, 4.0)]
+        )
+        rates = trace.node_rates(n_nodes=3)
+        assert rates[1] == pytest.approx(1.0)
+        assert rates[0] == 0.0
+
+    def test_document_counts_and_ranks(self):
+        trace = Trace(
+            [
+                TraceEntry(1.0, 0, "hot"),
+                TraceEntry(2.0, 0, "hot"),
+                TraceEntry(3.0, 0, "cold"),
+            ]
+        )
+        assert trace.document_counts() == {"hot": 2, "cold": 1}
+        assert trace.popularity_ranks()[0] == ("hot", 2)
+
+    def test_window(self):
+        trace = Trace([TraceEntry(float(t), 0, "d") for t in range(10)])
+        sub = trace.window(2.0, 5.0)
+        assert [e.time for e in sub] == [2.0, 3.0, 4.0]
+        with pytest.raises(ValueError):
+            trace.window(5.0, 2.0)
+
+    def test_shifted(self):
+        trace = Trace([TraceEntry(1.0, 0, "d")])
+        assert trace.shifted(2.5)[0].time == 3.5
+        with pytest.raises(ValueError):
+            trace.shifted(-5.0)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = Trace(
+            [TraceEntry(0.5, 3, "doc-1"), TraceEntry(1.25, 4, "doc-0")]
+        )
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert list(loaded) == list(trace)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"t": 1.0, "o": 0}\n')
+        with pytest.raises(ValueError, match="bad trace line"):
+            Trace.load(path)
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"t": 1.0, "o": 0, "d": "x"}\n\n')
+        assert len(Trace.load(path)) == 1
+
+
+class TestRecordAndReplay:
+    def test_record_matches_workload_rates(self):
+        workload = make_workload(rate=8.0)
+        trace = record_trace(workload, RngStreams(3), duration=200.0)
+        empirical = trace.node_rates(workload.tree.n)
+        for node in workload.tree:
+            expected = workload.node_rate(node)
+            assert empirical[node] == pytest.approx(expected, rel=0.2, abs=0.5)
+
+    def test_record_deterministic(self):
+        workload = make_workload()
+        a = record_trace(workload, RngStreams(7), duration=30.0)
+        b = record_trace(workload, RngStreams(7), duration=30.0)
+        assert list(a) == list(b)
+
+    def test_record_bad_duration(self):
+        with pytest.raises(ValueError):
+            record_trace(make_workload(), RngStreams(0), duration=0.0)
+
+    def test_replay_reproduces_scenario_arrivals(self):
+        workload = make_workload()
+        config = ScenarioConfig(duration=15.0, warmup=3.0, seed=11)
+
+        # normal run
+        normal = Scenario(workload, config)
+        normal.run()
+
+        # trace-driven run with identical seeds
+        trace = record_trace(workload, RngStreams(config.seed), config.duration)
+        replayed = Scenario(workload, config)
+        replayed.on_start()
+        trace.schedule_into(replayed)
+        replayed.sim.run(until=config.duration * 1.25)
+
+        assert len(replayed.requests) == len(normal.requests)
+        normal_keys = [(round(r.created_at, 9), r.origin, r.doc_id) for r in normal.requests]
+        replay_keys = [(round(r.created_at, 9), r.origin, r.doc_id) for r in replayed.requests]
+        assert sorted(normal_keys) == sorted(replay_keys)
