@@ -4,15 +4,23 @@ Every benchmark regenerates one paper artifact (or extension study) and
 writes its paper-style report to ``benchmarks/reports/<name>.txt`` so the
 rows/series survive pytest's output capture.  EXPERIMENTS.md records the
 paper-vs-measured comparison based on these reports.
+
+Kernel-performance benchmarks additionally record machine-readable rows in
+``benchmarks/BENCH_kernels.json`` via the ``bench_record`` fixture, so the
+hot path's rounds/sec and time-to-convergence trajectory survives across
+PRs and can be diffed by tooling.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import time
 
 import pytest
 
 REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_kernels.json"
 
 
 @pytest.fixture
@@ -26,6 +34,21 @@ def save_report():
         return path
 
     return _save
+
+
+@pytest.fixture
+def bench_record():
+    """Merge one named entry into benchmarks/BENCH_kernels.json."""
+
+    def _record(name: str, payload: dict) -> pathlib.Path:
+        data = {"schema": "bench-kernels/v1", "entries": {}}
+        if BENCH_JSON.exists():
+            data = json.loads(BENCH_JSON.read_text())
+        data["entries"][name] = dict(payload, recorded_at=time.strftime("%Y-%m-%d"))
+        BENCH_JSON.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+        return BENCH_JSON
+
+    return _record
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -1,8 +1,14 @@
 """Microbenchmarks of the core algorithmic kernels.
 
 Not a paper artifact - these track the library's own performance: WebFold's
-near-linear folding on large trees, the rate-level WebWave round cost, and
-routing-tree extraction, so regressions in the hot paths are visible.
+near-linear folding on large trees, the vectorized diffusion round from
+:mod:`repro.core.kernel` against the seed's pure-Python loop (kept as
+:func:`repro.core.kernel.reference_round`), and routing-tree extraction,
+so regressions in the hot paths are visible.
+
+The kernel rows are also written to ``benchmarks/BENCH_kernels.json``
+(rounds/sec and the vectorized-vs-seed speedup at n ~ 1k and 10k) so the
+performance trajectory is recorded in machine-readable form.
 """
 
 from __future__ import annotations
@@ -11,6 +17,13 @@ import random
 
 import pytest
 
+from repro.core.kernel import (
+    SyncEngine,
+    degree_edge_alphas,
+    edge_alpha_map,
+    flatten,
+    reference_round,
+)
 from repro.core.tree import random_tree
 from repro.core.webfold import webfold
 from repro.core.webwave import WebWaveSimulator
@@ -18,19 +31,57 @@ from repro.net.generators import waxman_topology
 from repro.net.routing import shortest_path_tree
 
 
-@pytest.mark.parametrize("n", [100, 1000, 10000])
-def test_bench_webfold(benchmark, n):
-    rng = random.Random(42)
+def _tree_and_rates(n: int, seed: int = 42):
+    rng = random.Random(seed)
     tree = random_tree(n, rng)
     rates = [rng.uniform(0, 100) for _ in range(n)]
+    return tree, rates
+
+
+@pytest.mark.parametrize("n", [100, 1000, 10000])
+def test_bench_webfold(benchmark, n):
+    tree, rates = _tree_and_rates(n)
     result = benchmark(webfold, tree, rates)
     assert result.assignment.total_served == pytest.approx(sum(rates), rel=1e-9)
 
 
+@pytest.mark.parametrize("n", [1000, 10000])
+def test_bench_kernel_round(benchmark, bench_record, n):
+    """One vectorized Figure 5 round (the SyncEngine hot path)."""
+    tree, rates = _tree_and_rates(n)
+    flat = flatten(tree)
+    engine = SyncEngine(flat, rates, rates, degree_edge_alphas(flat))
+    benchmark(engine.step)
+    bench_record(
+        f"kernel_round_n{n}",
+        {
+            "nodes": n,
+            "rounds_per_sec": 1.0 / benchmark.stats.stats.mean,
+            "seconds_per_round": benchmark.stats.stats.mean,
+        },
+    )
+
+
+@pytest.mark.parametrize("n", [1000])
+def test_bench_seed_loop_round(benchmark, bench_record, n):
+    """The seed's pure-Python round, kept as the speedup baseline."""
+    tree, rates = _tree_and_rates(n)
+    flat = flatten(tree)
+    amap = edge_alpha_map(flat, degree_edge_alphas(flat))
+    benchmark(reference_round, tree, rates, rates, amap)
+    bench_record(
+        f"seed_loop_round_n{n}",
+        {
+            "nodes": n,
+            "rounds_per_sec": 1.0 / benchmark.stats.stats.mean,
+            "seconds_per_round": benchmark.stats.stats.mean,
+        },
+    )
+
+
 def test_bench_webwave_round(benchmark):
-    rng = random.Random(7)
-    tree = random_tree(2000, rng)
-    rates = [rng.uniform(0, 100) for _ in range(tree.n)]
+    """The facade path: WebWaveSimulator.step() through the kernel."""
+    tree, rates = _tree_and_rates(2000, seed=7)
     sim = WebWaveSimulator(tree, rates)
     benchmark(sim.step)
 

@@ -8,6 +8,8 @@ This package contains everything Sections 2-5 of the paper define:
 * :mod:`repro.core.webfold` - the provably optimal offline folding algorithm;
 * :mod:`repro.core.pava` - an independent TLB solver used for cross-checks;
 * :mod:`repro.core.diffusion` - Cybenko-style diffusion on general graphs;
+* :mod:`repro.core.kernel` - the vectorized array engine every rate-level
+  simulator (webwave / weighted / forest / async / dynamics) delegates to;
 * :mod:`repro.core.webwave` - the distributed rate-level protocol (Figure 5);
 * :mod:`repro.core.barriers` - per-document protocol, barriers, tunneling;
 * :mod:`repro.core.convergence` - distance traces and the gamma regression.
@@ -52,6 +54,20 @@ from .dynamics import (
     step_change_schedule,
 )
 from .forest import ForestResult, ForestWebWave
+from .kernel import (
+    AsyncEngine,
+    FlatTree,
+    ForestEngine,
+    SyncEngine,
+    degree_edge_alphas,
+    edge_alpha_map,
+    edge_alphas,
+    fixed_edge_alphas,
+    flatten,
+    forwarded_rates,
+    reference_round,
+    subtree_accumulate,
+)
 from .load import LoadAssignment, proportional_assignment, uniform_assignment
 from .weighted import (
     WeightedFold,
@@ -106,6 +122,19 @@ __all__ = [
     "fold_partition",
     "tree_waterfill",
     "WaterfillResult",
+    # kernel
+    "FlatTree",
+    "flatten",
+    "SyncEngine",
+    "ForestEngine",
+    "AsyncEngine",
+    "degree_edge_alphas",
+    "fixed_edge_alphas",
+    "edge_alphas",
+    "edge_alpha_map",
+    "forwarded_rates",
+    "subtree_accumulate",
+    "reference_round",
     # webwave
     "WebWaveConfig",
     "WebWaveResult",

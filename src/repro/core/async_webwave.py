@@ -12,6 +12,11 @@ via gossip (staleness drawn uniformly from ``0..max_staleness``
 activations).  Transfers follow Figure 5's caps exactly: pushes down are
 bounded by the child's forwarded rate, sheds up by the node's own served
 rate.
+
+:class:`AsyncWebWave` is a facade over
+:class:`repro.core.kernel.AsyncEngine`, which shares the flattened tree
+arrays, edge coefficients, and incremental forwarded-rate bookkeeping with
+the synchronous engines.
 """
 
 from __future__ import annotations
@@ -19,13 +24,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+import numpy as np
+
+from .kernel import AsyncEngine, edge_alphas, flatten
 from .load import LoadAssignment
 from .tree import RoutingTree
 from .webfold import webfold
 
 __all__ = ["AsyncWebWave", "AsyncResult"]
-
-_EPS = 1e-12
 
 
 @dataclass(frozen=True)
@@ -59,71 +65,28 @@ class AsyncWebWave:
             raise ValueError("max_staleness must be >= 0")
         self._tree = tree
         self._base = LoadAssignment(tree, spontaneous, initial_served)
-        self._rng = rng
-        self._alpha = alpha
-        self._staleness = max_staleness
-        self._loads = list(self._base.served)
-        # history ring of past load vectors for staleness sampling
-        self._history: List[List[float]] = [self._loads[:]]
-        self._activations = 0
+        flat = flatten(tree)
+        self._engine = AsyncEngine(
+            flat,
+            self._base.spontaneous,
+            self._base.served,
+            edge_alphas(flat, alpha, safe=False),
+            rng,
+            max_staleness=max_staleness,
+        )
 
     # ------------------------------------------------------------------
     @property
     def activations(self) -> int:
-        return self._activations
+        return self._engine.activations
 
     def assignment(self) -> LoadAssignment:
-        return self._base.with_served(self._loads)
-
-    def _edge_alpha(self, a: int, b: int) -> float:
-        if self._alpha is not None:
-            return self._alpha
-        return min(
-            1.0 / (self._tree.degree(a) + 1), 1.0 / (self._tree.degree(b) + 1)
-        )
-
-    def _stale_view(self, node: int) -> float:
-        if self._staleness == 0:
-            return self._loads[node]
-        lag = self._rng.randrange(self._staleness + 1)
-        vector = self._history[max(len(self._history) - 1 - lag, 0)]
-        return vector[node]
+        return self._base.with_served(self._engine.served_tuple())
 
     # ------------------------------------------------------------------
     def activate(self, node: Optional[int] = None) -> None:
         """Wake one node and let it balance against its neighbourhood."""
-        tree = self._tree
-        loads = self._loads
-        if node is None:
-            node = self._rng.randrange(tree.n)
-        my_load = loads[node]
-
-        # current A values: the node observes its own children's forwarded
-        # rates directly (they are its own arrival stream), so these are
-        # exact even under gossip staleness
-        forwarded = self._base.with_served(loads).forwarded
-
-        for child in tree.children(node):
-            gap = my_load - self._stale_view(child)
-            if gap > _EPS:
-                transfer = min(
-                    forwarded[child], self._edge_alpha(node, child) * gap
-                )
-                loads[node] -= transfer
-                loads[child] += transfer
-                my_load = loads[node]
-        parent = tree.parent(node)
-        if parent is not None:
-            gap = my_load - self._stale_view(parent)
-            if gap > _EPS:
-                shed = min(my_load, self._edge_alpha(node, parent) * gap)
-                loads[node] -= shed
-                loads[parent] += shed
-
-        self._history.append(loads[:])
-        if len(self._history) > self._staleness + 1:
-            self._history.pop(0)
-        self._activations += 1
+        self._engine.activate(node)
 
     def run(
         self,
@@ -133,17 +96,19 @@ class AsyncWebWave:
         sample_every: int = 25,
     ) -> AsyncResult:
         """Activate random nodes until within tolerance of the TLB target."""
+        engine = self._engine
         if target is None:
             target = webfold(self._tree, self._base.spontaneous).assignment
-        distances = [self.assignment().distance_to(target)]
-        while distances[-1] > tolerance and self._activations < max_activations:
-            self.activate()
-            if self._activations % sample_every == 0:
-                distances.append(self.assignment().distance_to(target))
-        distances.append(self.assignment().distance_to(target))
+        target_arr = np.asarray(target.served, dtype=np.float64)
+        distances = [engine.distance_to(target_arr)]
+        while distances[-1] > tolerance and engine.activations < max_activations:
+            engine.activate(None)
+            if engine.activations % sample_every == 0:
+                distances.append(engine.distance_to(target_arr))
+        distances.append(engine.distance_to(target_arr))
         return AsyncResult(
             converged=distances[-1] <= tolerance,
-            activations=self._activations,
+            activations=engine.activations,
             final=self.assignment(),
             target=target,
             distances=distances,

@@ -19,10 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from .kernel import SyncEngine, flatten, resettle_served
 from .load import LoadAssignment
 from .tree import RoutingTree
 from .webfold import webfold
-from .webwave import WebWaveConfig, WebWaveSimulator
+from .webwave import WebWaveConfig
 
 __all__ = [
     "RateSchedule",
@@ -130,19 +133,15 @@ def resettle(
 
     When demand drops, a node cannot keep serving more than actually flows
     through it; when demand rises, the un-served remainder reaches the home
-    server, which must serve it (Constraint 1).  One bottom-up pass,
-    mirroring the per-document settle of :mod:`repro.core.barriers`.
+    server, which must serve it (Constraint 1).  One bottom-up pass
+    (vectorized in :func:`repro.core.kernel.resettle_served`), mirroring
+    the per-document settle of :mod:`repro.core.barriers`.
     """
-    loads = [0.0] * tree.n
-    forwarded = [0.0] * tree.n
-    for u in tree.bottomup():
-        arriving = rates[u] + sum(forwarded[c] for c in tree.children(u))
-        if u == tree.root:
-            loads[u] = arriving
-        else:
-            loads[u] = min(served[u], arriving)
-            forwarded[u] = arriving - loads[u]
-    return loads
+    return resettle_served(
+        flatten(tree),
+        np.asarray(rates, dtype=np.float64),
+        np.asarray(served, dtype=np.float64),
+    ).tolist()
 
 
 @dataclass(frozen=True)
@@ -173,27 +172,42 @@ def run_tracking(
 ) -> TrackingResult:
     """Run WebWave while the spontaneous rates follow ``schedule``.
 
-    The simulator's spontaneous rates are swapped at every change point
-    while the *served* loads carry over - exactly what a running system
+    The engine's spontaneous rates are swapped at every change point while
+    the *served* loads carry over - exactly what a running system
     experiences.  Note a subtlety the paper's NSS constraint implies: after
     a demand shift, the load currently served deep in a subtree may exceed
     the subtree's new spontaneous rate; the serving nodes then shed load
     upward over subsequent rounds, which is the recovery we measure.
+
+    This is a direct adapter over :class:`repro.core.kernel.SyncEngine`:
+    one engine persists across the whole schedule, and each change point is
+    a :meth:`~repro.core.kernel.SyncEngine.resettle` (clamp carried-over
+    loads, reset the gossip history) rather than a rebuilt simulator.
     """
     if schedule.n != tree.n:
         raise ValueError("schedule width does not match tree size")
     config = config or WebWaveConfig()
 
-    targets: Dict[Tuple[float, ...], LoadAssignment] = {}
+    targets: Dict[Tuple[float, ...], np.ndarray] = {}
 
-    def target_for(rates: Tuple[float, ...]) -> LoadAssignment:
+    def target_for(rates: Tuple[float, ...]) -> np.ndarray:
         if rates not in targets:
-            targets[rates] = webfold(tree, rates).assignment
+            targets[rates] = np.asarray(
+                webfold(tree, rates).assignment.served, dtype=np.float64
+            )
         return targets[rates]
 
     rates = schedule.rates_at(0)
-    sim = WebWaveSimulator(tree, rates, config)
-    distances: List[float] = [sim.assignment().distance_to(target_for(rates))]
+    base = LoadAssignment(tree, rates)
+    engine = SyncEngine(
+        flatten(tree),
+        base.spontaneous,
+        base.served,
+        config.edge_alphas(tree),
+        gossip_delay=config.gossip_delay,
+        quantum=config.quantum,
+    )
+    distances: List[float] = [engine.distance_to(target_for(rates))]
     pending_recovery: Dict[int, float] = {}
     recovery: Dict[int, Optional[int]] = {t: None for t in schedule.change_points}
 
@@ -203,13 +217,12 @@ def run_tracking(
             # demand moved: carry the current served rates over, clamped to
             # what the new demand can actually supply (and with the home
             # absorbing any new remainder), then keep diffusing
-            served = resettle(tree, new_rates, sim.assignment().served)
             pre_change = max(distances[-1], recovery_floor)
             pending_recovery[t] = pre_change * recovery_factor
             rates = new_rates
-            sim = WebWaveSimulator(tree, rates, config, initial_served=served)
-        sim.step()
-        d = sim.assignment().distance_to(target_for(rates))
+            engine.resettle(rates)
+        engine.step()
+        d = engine.distance_to(target_for(rates))
         distances.append(d)
         for change_at, threshold in list(pending_recovery.items()):
             if d <= threshold:

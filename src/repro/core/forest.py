@@ -18,6 +18,9 @@ servers), so the study measures (a) per-tree feasibility invariants,
 start, and (c) comparison with the *uncoupled* lower bound of running
 WebFold per tree independently (which ignores cross-tree contention and is
 therefore optimistic about the max total load only when demands align).
+
+:class:`ForestWebWave` is a facade over
+:class:`repro.core.kernel.ForestEngine`, the vectorized coupled round.
 """
 
 from __future__ import annotations
@@ -25,13 +28,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .kernel import ForestEngine, edge_alphas, flatten
 from .load import LoadAssignment
 from .tree import RoutingTree
 from .webfold import webfold
 
 __all__ = ["ForestWebWave", "ForestResult"]
-
-_EPS = 1e-12
 
 
 @dataclass(frozen=True)
@@ -83,17 +85,23 @@ class ForestWebWave:
         self._n = sizes.pop()
         self._homes = tuple(sorted(trees))
         self._trees = {h: trees[h] for h in self._homes}
-        self._alpha = alpha
-        self._loads: Dict[int, List[float]] = {}
         self._base: Dict[int, LoadAssignment] = {}
+        flats = {}
+        alphas = {}
         for home in self._homes:
             tree = self._trees[home]
             if tree.root != home:
                 raise ValueError(f"tree for home {home} is rooted at {tree.root}")
-            assignment = LoadAssignment(tree, demands[home])
-            self._base[home] = assignment
-            self._loads[home] = list(assignment.served)
-        self._round = 0
+            # validates the demand vector (length, non-negativity)
+            self._base[home] = LoadAssignment(tree, demands[home])
+            flat = flatten(tree)
+            flats[home] = flat
+            alphas[home] = edge_alphas(flat, alpha, safe=False)
+        self._engine = ForestEngine(
+            flats,
+            {h: self._base[h].spontaneous for h in self._homes},
+            alphas,
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -106,22 +114,20 @@ class ForestWebWave:
 
     @property
     def round(self) -> int:
-        return self._round
+        return self._engine.round
 
     def tree_assignment(self, home: int) -> LoadAssignment:
         """The current per-tree load assignment."""
-        return self._base[home].with_served(self._loads[home])
+        return self._base[home].with_served(
+            tuple(self._engine.loads_of(home).tolist())
+        )
 
     def total_loads(self) -> List[float]:
         """Per-node load summed over all trees."""
-        totals = [0.0] * self._n
-        for loads in self._loads.values():
-            for i, l in enumerate(loads):
-                totals[i] += l
-        return totals
+        return self._engine.total_loads().tolist()
 
     def max_total(self) -> float:
-        return max(self.total_loads())
+        return float(self._engine.total_loads().max())
 
     def per_tree_tlb_max_total(self) -> float:
         """Max node-total if every tree independently sat at its own TLB.
@@ -138,11 +144,6 @@ class ForestWebWave:
         return max(totals)
 
     # ------------------------------------------------------------------
-    def _edge_alpha(self, tree: RoutingTree, a: int, b: int) -> float:
-        if self._alpha is not None:
-            return self._alpha
-        return min(1.0 / (tree.degree(a) + 1), 1.0 / (tree.degree(b) + 1))
-
     def step(self) -> None:
         """One synchronous round over every tree, comparing *total* loads.
 
@@ -152,34 +153,7 @@ class ForestWebWave:
         A node participates in as many overlay edges as there are trees, so
         the stable step size divides by the tree count.
         """
-        totals = self.total_loads()
-        scale = 1.0 / len(self._homes)
-        deltas: Dict[int, List[float]] = {
-            home: [0.0] * self._n for home in self._homes
-        }
-        for home in self._homes:
-            tree = self._trees[home]
-            loads = self._loads[home]
-            forwarded = self._base[home].with_served(loads).forwarded
-            for child in tree:
-                parent = tree.parent(child)
-                if parent is None:
-                    continue
-                alpha = self._edge_alpha(tree, parent, child) * scale
-                gap = totals[parent] - totals[child]
-                if gap > _EPS:
-                    down = min(max(forwarded[child], 0.0), alpha * gap)
-                    deltas[home][parent] -= down
-                    deltas[home][child] += down
-                elif -gap > _EPS:
-                    up = min(loads[child], alpha * (-gap))
-                    deltas[home][child] -= up
-                    deltas[home][parent] += up
-        for home in self._homes:
-            loads = self._loads[home]
-            for i in range(self._n):
-                loads[i] = max(loads[i] + deltas[home][i], 0.0)
-        self._round += 1
+        self._engine.step()
 
     def run(
         self, max_rounds: int = 5000, stall_tolerance: float = 1e-7
@@ -192,7 +166,7 @@ class ForestWebWave:
         initial = self.max_total()
         history = [initial]
         stalled = 0
-        while self._round < max_rounds and stalled < 25:
+        while self._engine.round < max_rounds and stalled < 25:
             before = history[-1]
             self.step()
             now = self.max_total()
@@ -202,7 +176,7 @@ class ForestWebWave:
             else:
                 stalled = 0
         return ForestResult(
-            rounds=self._round,
+            rounds=self._engine.round,
             converged=stalled >= 25,
             initial_max_total=initial,
             final_max_total=history[-1],

@@ -1,0 +1,679 @@
+"""The shared, vectorized diffusion kernel behind every rate-level simulator.
+
+The paper defines exactly one diffusion update (Figure 5): each round, every
+server compares its load against each tree neighbour and shifts at most
+
+* ``min(A_j, alpha * (L_i - L_ij))`` *down* to a child ``j`` (the NSS cap: a
+  parent can only relegate requests the child's subtree itself forwards), and
+* ``min(L_i, alpha * (L_i - L_ik))`` *up* to its parent ``k`` (a node cannot
+  serve a negative rate).
+
+The seed implemented that update four separate times - synchronous WebWave,
+the capacity-weighted variant, the forest of overlapping trees, and the
+asynchronous single-node version - each as its own pure-Python dict loop.
+This module is the single array-based engine they all delegate to now:
+
+* :class:`FlatTree` flattens a :class:`~repro.core.tree.RoutingTree` into
+  CSR-style NumPy arrays (parent pointers, one edge per non-root node in
+  ascending child order, depth levels, a children index);
+* :class:`SyncEngine` runs the synchronous round, with pluggable policies
+  for the edge coefficients (uniform load vs. capacity-weighted
+  utilization via :func:`degree_edge_alphas` / :func:`fixed_edge_alphas`),
+  gossip staleness, transfer quantization, and mid-run rate swaps (the
+  :mod:`repro.core.dynamics` schedules);
+* :class:`ForestEngine` couples one :class:`FlatTree` per home server
+  through the nodes' *total* loads;
+* :class:`AsyncEngine` wakes one seeded node at a time with
+  bounded-staleness views.
+
+Facade classes (:class:`~repro.core.webwave.WebWaveSimulator`,
+:class:`~repro.core.weighted.WeightedWebWaveSimulator`,
+:class:`~repro.core.forest.ForestWebWave`,
+:class:`~repro.core.async_webwave.AsyncWebWave`, and
+:func:`~repro.core.dynamics.run_tracking`) keep their public APIs and wrap
+these engines; ``tests/core/test_kernel_parity.py`` pins their trajectories
+to goldens recorded from the pre-kernel loops.
+
+:func:`reference_round` keeps one readable pure-Python copy of the Figure 5
+round as the oracle for property tests and the baseline for the
+``benchmarks/BENCH_kernels.json`` speedup record.
+
+Performance notes.  One synchronous round is O(edges) of NumPy array
+arithmetic plus two ``bincount`` scatter-adds; the per-node forwarded rates
+``A`` (the NSS caps) are maintained *incrementally* - a transfer on edge
+``(p, c)`` only changes ``A_c`` - and are recomputed from scratch (one
+``np.add.at`` pass per tree level) only when a round clamps a load at zero
+or the spontaneous rates change.  At n=10k this is two orders of magnitude
+faster than the seed's per-edge Python loop.
+"""
+
+from __future__ import annotations
+
+import math
+import weakref
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .tree import RoutingTree
+
+__all__ = [
+    "FlatTree",
+    "flatten",
+    "degree_edge_alphas",
+    "fixed_edge_alphas",
+    "edge_alphas",
+    "edge_alpha_map",
+    "subtree_accumulate",
+    "forwarded_rates",
+    "resettle_served",
+    "SyncEngine",
+    "ForestEngine",
+    "AsyncEngine",
+    "reference_round",
+]
+
+_EPS = 1e-12
+
+
+class FlatTree:
+    """CSR-style array view of one :class:`RoutingTree`.
+
+    Everything the engines touch per round lives in dense NumPy arrays:
+
+    ``parent``
+        ``parent[i]`` is the parent of ``i`` (the root maps to itself).
+    ``edge_child`` / ``edge_parent``
+        One entry per tree edge, in ascending child id - the same edge
+        order the seed loops iterated in.  ``edge_child`` is every
+        non-root node; ``edge_parent`` its parent.
+    ``levels``
+        Node ids grouped by depth, deepest level first; bottom-up
+        aggregates (subtree sums, the forwarded rates ``A``) are one
+        scatter-add per level.
+    ``child_offsets`` / ``child_ids``
+        CSR children index: the children of ``i`` are
+        ``child_ids[child_offsets[i]:child_offsets[i+1]]``, ascending.
+    ``degree``
+        Tree degree (parent + children count), the paper's default
+        step-size denominator ``alpha_i = 1/(deg_i + 1)``.
+    """
+
+    __slots__ = (
+        "tree",
+        "n",
+        "root",
+        "parent",
+        "edge_child",
+        "edge_parent",
+        "levels",
+        "child_offsets",
+        "child_ids",
+        "degree",
+        "__weakref__",
+    )
+
+    def __init__(self, tree: RoutingTree) -> None:
+        n = tree.n
+        parent = np.fromiter(tree.parent_map, dtype=np.intp, count=n)
+        self.tree = tree
+        self.n = n
+        self.root = tree.root
+        self.parent = parent
+        ids = np.arange(n, dtype=np.intp)
+        self.edge_child = ids[ids != tree.root]
+        self.edge_parent = parent[self.edge_child]
+        depth = np.fromiter((tree.depth(i) for i in range(n)), dtype=np.intp, count=n)
+        self.levels = [
+            np.flatnonzero(depth == d) for d in range(int(depth.max()), 0, -1)
+        ]
+        child_counts = np.bincount(self.edge_parent, minlength=n)
+        offsets = np.zeros(n + 1, dtype=np.intp)
+        np.cumsum(child_counts, out=offsets[1:])
+        self.child_offsets = offsets
+        # edge_child is ascending, so a stable sort by parent keeps each
+        # node's children in ascending id order (the traversal order the
+        # deterministic simulators rely on).
+        self.child_ids = self.edge_child[
+            np.argsort(self.edge_parent, kind="stable")
+        ]
+        self.degree = child_counts + (ids != tree.root)
+
+    def children_of(self, i: int) -> np.ndarray:
+        """Children of node ``i``, ascending."""
+        return self.child_ids[self.child_offsets[i] : self.child_offsets[i + 1]]
+
+
+# Weak-valued so a tree's arrays live exactly as long as something (an
+# engine, a facade) still holds the FlatTree; no process-lifetime pinning.
+_FLAT_CACHE: "weakref.WeakValueDictionary[RoutingTree, FlatTree]" = (
+    weakref.WeakValueDictionary()
+)
+
+
+def flatten(tree: RoutingTree) -> FlatTree:
+    """The (cached) :class:`FlatTree` for an immutable routing tree."""
+    flat = _FLAT_CACHE.get(tree)
+    if flat is None:
+        flat = FlatTree(tree)
+        _FLAT_CACHE[tree] = flat
+    return flat
+
+
+# ----------------------------------------------------------------------
+# Bottom-up aggregates
+# ----------------------------------------------------------------------
+def subtree_accumulate(flat: FlatTree, values: np.ndarray) -> np.ndarray:
+    """For each node, the sum of ``values`` over its subtree (vectorized).
+
+    One ``np.add.at`` scatter per level, deepest first: every node's
+    accumulated value is folded into its parent before the parent's level
+    is processed.
+    """
+    acc = np.array(values, dtype=np.float64, copy=True)
+    parent = flat.parent
+    for level in flat.levels:
+        np.add.at(acc, parent[level], acc[level])
+    return acc
+
+
+def forwarded_rates(
+    flat: FlatTree, spontaneous: np.ndarray, served: np.ndarray
+) -> np.ndarray:
+    """``A_i = E_i + sum_{j in C_i} A_j - L_i`` for every node.
+
+    Flow conservation makes ``A_i`` the subtree sum of ``E - L``; a
+    negative value flags an infeasible assignment (NSS violated).
+    """
+    return subtree_accumulate(flat, spontaneous - served)
+
+
+def resettle_served(
+    flat: FlatTree, rates: np.ndarray, served: np.ndarray
+) -> np.ndarray:
+    """Clamp carried-over served rates to the flow a new demand supports.
+
+    The vectorized counterpart of :func:`repro.core.dynamics.resettle`:
+    one bottom-up pass where every non-root node keeps
+    ``min(served, arriving)`` and forwards the rest, and the home server
+    absorbs whatever reaches it (Constraint 1).
+    """
+    arriving = np.array(rates, dtype=np.float64, copy=True)
+    loads = np.zeros(flat.n, dtype=np.float64)
+    parent = flat.parent
+    for level in flat.levels:
+        kept = np.minimum(served[level], arriving[level])
+        loads[level] = kept
+        np.add.at(arriving, parent[level], arriving[level] - kept)
+    loads[flat.root] = arriving[flat.root]
+    return loads
+
+
+# ----------------------------------------------------------------------
+# Edge-coefficient policies
+# ----------------------------------------------------------------------
+def degree_edge_alphas(flat: FlatTree) -> np.ndarray:
+    """The paper's default ``min(1/(deg_i + 1), 1/(deg_j + 1))`` per edge."""
+    inv = 1.0 / (flat.degree.astype(np.float64) + 1.0)
+    return np.minimum(inv[flat.edge_parent], inv[flat.edge_child])
+
+
+def fixed_edge_alphas(
+    flat: FlatTree, alpha: float, safe: bool = True
+) -> np.ndarray:
+    """One diffusion coefficient for every edge.
+
+    With ``safe`` (the default) the value is capped per edge at
+    ``1/(max_deg_endpoint + 1)`` so loads stay non-negative; ``safe=False``
+    reproduces the ablation study's unguarded setting.
+    """
+    m = flat.edge_child.shape[0]
+    if not safe:
+        return np.full(m, float(alpha))
+    deg = flat.degree
+    cap = 1.0 / (
+        np.maximum(deg[flat.edge_parent], deg[flat.edge_child]).astype(np.float64)
+        + 1.0
+    )
+    return np.minimum(float(alpha), cap)
+
+
+def edge_alphas(
+    flat: FlatTree, alpha: Optional[float] = None, safe: bool = True
+) -> np.ndarray:
+    """The coefficient policy every facade shares.
+
+    ``alpha=None`` selects the paper's degree-based default; a float
+    applies one value per edge, safety-capped unless ``safe=False``.
+    """
+    if alpha is None:
+        return degree_edge_alphas(flat)
+    return fixed_edge_alphas(flat, alpha, safe=safe)
+
+
+def edge_alpha_map(
+    flat: FlatTree, alphas: np.ndarray
+) -> Dict[Tuple[int, int], float]:
+    """Per-edge alphas as the ``(parent, child)``-keyed dict
+    :func:`reference_round` takes."""
+    return {
+        (int(p), int(c)): float(a)
+        for p, c, a in zip(flat.edge_parent, flat.edge_child, alphas)
+    }
+
+
+def _quantize(values: np.ndarray, quantum: float) -> np.ndarray:
+    """Round transfers down to multiples of ``quantum`` (0 = continuous)."""
+    if quantum <= 0.0:
+        return values
+    return np.floor(values / quantum) * quantum
+
+
+def _as_vector(values: Sequence[float], n: int, what: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.shape != (n,):
+        raise ValueError(f"expected {n} {what}, got shape {arr.shape}")
+    return arr.copy()
+
+
+# ----------------------------------------------------------------------
+# Synchronous engine (single tree): WebWave + weighted variant
+# ----------------------------------------------------------------------
+class SyncEngine:
+    """Synchronous rounds of the Figure 5 update on one flattened tree.
+
+    Policies
+    --------
+    edge_alpha:
+        Per-edge diffusion coefficients (see :func:`degree_edge_alphas` /
+        :func:`fixed_edge_alphas`).
+    capacities:
+        ``None`` runs the paper's uniform-capacity update (equalize
+        *loads*).  A positive vector switches the imbalance signal to
+        utilization ``L/C`` and scales each edge's transfer by the smaller
+        endpoint capacity - the capacity-weighted variant.
+    gossip_delay:
+        Rounds by which neighbours' loads are observed stale (uniform
+        update only; ``0`` = the paper's instantaneous exchange).
+    quantum:
+        If positive, transfers round down to multiples of this value.
+
+    The engine owns mutable state (loads, the gossip ring, the incremental
+    forwarded vector); facades expose it read-only.
+    """
+
+    __slots__ = (
+        "flat",
+        "_e",
+        "_loads",
+        "_alpha",
+        "_caps",
+        "_delay",
+        "_quantum",
+        "_history",
+        "_fwd",
+        "_round",
+    )
+
+    def __init__(
+        self,
+        flat: FlatTree,
+        spontaneous: Sequence[float],
+        initial_served: Sequence[float],
+        edge_alpha: np.ndarray,
+        *,
+        capacities: Optional[Sequence[float]] = None,
+        gossip_delay: int = 0,
+        quantum: float = 0.0,
+    ) -> None:
+        self.flat = flat
+        self._e = _as_vector(spontaneous, flat.n, "spontaneous rates")
+        self._loads = _as_vector(initial_served, flat.n, "served rates")
+        self._alpha = np.asarray(edge_alpha, dtype=np.float64)
+        self._caps = (
+            None if capacities is None else _as_vector(capacities, flat.n, "capacities")
+        )
+        self._delay = int(gossip_delay)
+        self._quantum = float(quantum)
+        self._history: List[np.ndarray] = [self._loads.copy()]
+        self._fwd = forwarded_rates(flat, self._e, self._loads)
+        self._round = 0
+
+    # -- read-only views -------------------------------------------------
+    @property
+    def round(self) -> int:
+        return self._round
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Current served-load vector (a live view; do not mutate)."""
+        return self._loads
+
+    @property
+    def spontaneous(self) -> np.ndarray:
+        return self._e
+
+    def served_tuple(self) -> Tuple[float, ...]:
+        return tuple(self._loads.tolist())
+
+    def distance_to(self, target: np.ndarray) -> float:
+        """Euclidean distance of the current loads to ``target``."""
+        return float(np.linalg.norm(self._loads - target))
+
+    # -- state management --------------------------------------------------
+    def reset_state(
+        self, spontaneous: Sequence[float], served: Sequence[float]
+    ) -> None:
+        """Swap in new rates/loads (a dynamics change point): history resets."""
+        self._e = _as_vector(spontaneous, self.flat.n, "spontaneous rates")
+        self._loads = _as_vector(served, self.flat.n, "served rates")
+        self._history = [self._loads.copy()]
+        self._fwd = forwarded_rates(self.flat, self._e, self._loads)
+
+    def resettle(self, rates: Sequence[float]) -> None:
+        """Apply a new spontaneous-rate vector, clamping carried-over loads."""
+        rates_arr = _as_vector(rates, self.flat.n, "spontaneous rates")
+        self.reset_state(
+            rates_arr, resettle_served(self.flat, rates_arr, self._loads)
+        )
+
+    # -- the round ---------------------------------------------------------
+    def step(self) -> None:
+        """One synchronous diffusion round over every edge at once."""
+        flat = self.flat
+        ep, ec = flat.edge_parent, flat.edge_child
+        loads = self._loads
+        alpha = self._alpha
+        fwd = self._fwd
+
+        if self._caps is None:
+            view = (
+                loads
+                if self._delay == 0
+                else self._history[min(self._delay, len(self._history) - 1)]
+            )
+            # Parent side: push down, capped by NSS (the child's forwarded
+            # rate; clamped at zero because A can be transiently negative
+            # right after a demand drop - see repro.core.dynamics).
+            down = np.minimum(
+                np.maximum(fwd[ec], 0.0),
+                np.maximum(alpha * (loads[ep] - view[ec]), 0.0),
+            )
+            # Child side: shed up, capped by what the child serves.
+            up = np.minimum(
+                loads[ec], np.maximum(alpha * (loads[ec] - view[ep]), 0.0)
+            )
+            transfer = _quantize(down, self._quantum) - _quantize(up, self._quantum)
+        else:
+            caps = self._caps
+            util = loads / caps
+            gap = util[ep] - util[ec]
+            # The smaller endpoint capacity bounds the per-round utilization
+            # change at both endpoints by alpha * |gap|, which keeps the
+            # iteration stable for alpha <= 1/(deg+1).
+            c_edge = np.minimum(caps[ep], caps[ec])
+            scaled = alpha * gap * c_edge
+            down = np.where(gap > 0.0, np.minimum(fwd[ec], scaled), 0.0)
+            up = np.where(gap < 0.0, np.minimum(loads[ec], -scaled), 0.0)
+            transfer = down - up
+
+        n = flat.n
+        delta = np.bincount(ec, weights=transfer, minlength=n) - np.bincount(
+            ep, weights=transfer, minlength=n
+        )
+        new_loads = loads + delta
+        if np.any(new_loads < 0.0):
+            # A load clamped at zero breaks the incremental A bookkeeping
+            # (only reachable with unsafe alphas); recompute from scratch.
+            np.maximum(new_loads, 0.0, out=new_loads)
+            self._loads = new_loads
+            self._fwd = forwarded_rates(flat, self._e, new_loads)
+        else:
+            self._loads = new_loads
+            # A transfer on edge (p, c) only moves load across the subtree
+            # boundary of c: A_c falls by the net downward transfer.
+            fwd[ec] -= transfer
+
+        if self._delay > 0:
+            self._history.insert(0, new_loads.copy())
+            del self._history[self._delay + 1 :]
+        self._round += 1
+
+
+# ----------------------------------------------------------------------
+# Forest engine: one tree per home server, coupled through total loads
+# ----------------------------------------------------------------------
+class ForestEngine:
+    """Synchronous rounds over overlapping trees sharing one node set.
+
+    Per-tree transfer caps are unchanged (NSS within each tree), but the
+    imbalance signal is each node's *total* load across trees, and the
+    step size divides by the tree count since a node participates in one
+    overlay edge per tree.
+    """
+
+    __slots__ = ("homes", "_flats", "_e", "_loads", "_alpha", "_fwd", "_scale", "_round")
+
+    def __init__(
+        self,
+        flats: Mapping[int, FlatTree],
+        demands: Mapping[int, Sequence[float]],
+        edge_alphas: Mapping[int, np.ndarray],
+    ) -> None:
+        self.homes: Tuple[int, ...] = tuple(sorted(flats))
+        self._flats = dict(flats)
+        n = self._flats[self.homes[0]].n
+        self._e = {h: _as_vector(demands[h], n, "demand rates") for h in self.homes}
+        self._loads = {h: self._e[h].copy() for h in self.homes}
+        self._alpha = {
+            h: np.asarray(edge_alphas[h], dtype=np.float64) for h in self.homes
+        }
+        self._fwd = {
+            h: forwarded_rates(self._flats[h], self._e[h], self._loads[h])
+            for h in self.homes
+        }
+        self._scale = 1.0 / len(self.homes)
+        self._round = 0
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    def loads_of(self, home: int) -> np.ndarray:
+        return self._loads[home]
+
+    def total_loads(self) -> np.ndarray:
+        """Per-node load summed over every tree."""
+        totals = self._loads[self.homes[0]].copy()
+        for home in self.homes[1:]:
+            totals += self._loads[home]
+        return totals
+
+    def step(self) -> None:
+        """One synchronous round over every tree, comparing total loads."""
+        totals = self.total_loads()
+        transfers: Dict[int, np.ndarray] = {}
+        for home in self.homes:
+            flat = self._flats[home]
+            ep, ec = flat.edge_parent, flat.edge_child
+            loads = self._loads[home]
+            fwd = self._fwd[home]
+            alpha = self._alpha[home] * self._scale
+            gap = totals[ep] - totals[ec]
+            down = np.where(
+                gap > _EPS,
+                np.minimum(np.maximum(fwd[ec], 0.0), alpha * gap),
+                0.0,
+            )
+            up = np.where(
+                gap < -_EPS, np.minimum(loads[ec], alpha * (-gap)), 0.0
+            )
+            transfers[home] = down - up
+        for home in self.homes:
+            flat = self._flats[home]
+            transfer = transfers[home]
+            n = flat.n
+            delta = np.bincount(
+                flat.edge_child, weights=transfer, minlength=n
+            ) - np.bincount(flat.edge_parent, weights=transfer, minlength=n)
+            new_loads = self._loads[home] + delta
+            if np.any(new_loads < 0.0):
+                np.maximum(new_loads, 0.0, out=new_loads)
+                self._loads[home] = new_loads
+                self._fwd[home] = forwarded_rates(flat, self._e[home], new_loads)
+            else:
+                self._loads[home] = new_loads
+                self._fwd[home][flat.edge_child] -= transfer
+        self._round += 1
+
+
+# ----------------------------------------------------------------------
+# Asynchronous engine: seeded single-node activations
+# ----------------------------------------------------------------------
+class AsyncEngine:
+    """Event-driven single-node activations with bounded-staleness views.
+
+    Each activation wakes one node (drawn from ``rng`` unless specified),
+    which balances against its children in ascending order and then its
+    parent, exactly as the seed's ``AsyncWebWave`` did: the node's own
+    load is re-read after every child transfer, and each neighbour view is
+    sampled with a uniformly random staleness of up to ``max_staleness``
+    past activations.
+    """
+
+    __slots__ = (
+        "flat",
+        "_e",
+        "_loads",
+        "_alpha_of_child",
+        "_rng",
+        "_staleness",
+        "_history",
+        "_fwd",
+        "_activations",
+    )
+
+    def __init__(
+        self,
+        flat: FlatTree,
+        spontaneous: Sequence[float],
+        initial_served: Sequence[float],
+        edge_alpha: np.ndarray,
+        rng,
+        max_staleness: int = 0,
+    ) -> None:
+        self.flat = flat
+        self._e = _as_vector(spontaneous, flat.n, "spontaneous rates")
+        self._loads = _as_vector(initial_served, flat.n, "served rates")
+        # alpha indexed by the child endpoint of each edge
+        alpha_of_child = np.zeros(flat.n, dtype=np.float64)
+        alpha_of_child[flat.edge_child] = np.asarray(edge_alpha, dtype=np.float64)
+        self._alpha_of_child = alpha_of_child
+        self._rng = rng
+        self._staleness = int(max_staleness)
+        self._history: List[np.ndarray] = [self._loads.copy()]
+        self._fwd = forwarded_rates(flat, self._e, self._loads)
+        self._activations = 0
+
+    @property
+    def activations(self) -> int:
+        return self._activations
+
+    @property
+    def loads(self) -> np.ndarray:
+        return self._loads
+
+    def served_tuple(self) -> Tuple[float, ...]:
+        return tuple(self._loads.tolist())
+
+    def distance_to(self, target: np.ndarray) -> float:
+        return float(np.linalg.norm(self._loads - target))
+
+    def _stale_view(self, node: int) -> float:
+        if self._staleness == 0:
+            return float(self._loads[node])
+        lag = self._rng.randrange(self._staleness + 1)
+        vector = self._history[max(len(self._history) - 1 - lag, 0)]
+        return float(vector[node])
+
+    def activate(self, node: Optional[int] = None) -> None:
+        """Wake one node and let it balance against its neighbourhood."""
+        flat = self.flat
+        loads = self._loads
+        fwd = self._fwd
+        if node is None:
+            node = self._rng.randrange(flat.n)
+        my_load = float(loads[node])
+
+        # The node observes its children's forwarded rates directly (they
+        # are its own arrival stream), so the NSS caps are exact even under
+        # gossip staleness.
+        alpha = self._alpha_of_child
+        for child in flat.children_of(node).tolist():
+            gap = my_load - self._stale_view(child)
+            if gap > _EPS:
+                transfer = min(float(fwd[child]), float(alpha[child]) * gap)
+                loads[node] -= transfer
+                loads[child] += transfer
+                fwd[child] -= transfer
+                my_load = float(loads[node])
+        parent = int(flat.parent[node])
+        if parent != node:
+            gap = my_load - self._stale_view(parent)
+            if gap > _EPS:
+                shed = min(my_load, float(alpha[node]) * gap)
+                loads[node] -= shed
+                loads[parent] += shed
+                fwd[node] += shed
+
+        self._history.append(loads.copy())
+        if len(self._history) > self._staleness + 1:
+            self._history.pop(0)
+        self._activations += 1
+
+
+# ----------------------------------------------------------------------
+# Reference implementation: the oracle and benchmark baseline
+# ----------------------------------------------------------------------
+def reference_round(
+    tree: RoutingTree,
+    spontaneous: Sequence[float],
+    loads: Sequence[float],
+    edge_alpha: Mapping[Tuple[int, int], float],
+    quantum: float = 0.0,
+) -> List[float]:
+    """One Figure 5 round in plain Python, exactly as the seed loops ran it.
+
+    Kept as the readable specification of the synchronous update: the
+    property tests check :class:`SyncEngine` against it on random trees,
+    and the kernel benchmarks report the vectorized speedup over it.
+    Returns the post-round served-load vector without mutating inputs.
+    """
+    n = tree.n
+    loads = [float(x) for x in loads]
+    # forwarded rates from flow conservation, one bottom-up pass
+    fwd = [float(e) - l for e, l in zip(spontaneous, loads)]
+    for u in tree.bottomup():
+        p = tree.parent(u)
+        if p is not None:
+            fwd[p] += fwd[u]
+
+    def quantize(x: float) -> float:
+        if quantum <= 0.0:
+            return x
+        return math.floor(x / quantum) * quantum
+
+    delta = [0.0] * n
+    for child in tree:
+        parent = tree.parent(child)
+        if parent is None:
+            continue
+        alpha = edge_alpha[(parent, child)]
+        down = alpha * (loads[parent] - loads[child])
+        down = min(max(fwd[child], 0.0), max(down, 0.0))
+        up = alpha * (loads[child] - loads[parent])
+        up = min(loads[child], max(up, 0.0))
+        transfer = quantize(down) - quantize(up)
+        delta[parent] -= transfer
+        delta[child] += transfer
+    return [max(l + d, 0.0) for l, d in zip(loads, delta)]

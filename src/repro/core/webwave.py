@@ -22,14 +22,20 @@ satisfies Cybenko's sufficient conditions, so when the spontaneous pattern
 admits a GLE assignment WebWave provably converges; in general it converges
 to the TLB assignment computed by WebFold, which the simulations in
 ``benchmarks/`` demonstrate.
+
+:class:`WebWaveSimulator` is a facade: the round itself is the vectorized
+array update in :class:`repro.core.kernel.SyncEngine`, shared with the
+weighted, forest, and asynchronous variants.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from .kernel import SyncEngine, edge_alphas, flatten
 from .load import LoadAssignment
 from .tree import RoutingTree
 from .webfold import webfold
@@ -83,6 +89,10 @@ class WebWaveConfig:
         if self.max_rounds < 1:
             raise ValueError("max_rounds must be >= 1")
 
+    def edge_alphas(self, tree: RoutingTree) -> np.ndarray:
+        """Per-edge diffusion coefficients for ``tree`` under this config."""
+        return edge_alphas(flatten(tree), self.alpha, safe=not self.unsafe_alpha)
+
 
 @dataclass
 class WebWaveResult:
@@ -124,9 +134,10 @@ class WebWaveResult:
 class WebWaveSimulator:
     """Synchronous rate-level WebWave on one routing tree.
 
-    The simulator owns mutable per-round state (current loads and the gossip
-    history) and exposes :meth:`step` / :meth:`run` drivers.  Constructing a
-    simulator never mutates its inputs.
+    A thin facade over :class:`repro.core.kernel.SyncEngine`: construction
+    flattens the tree into edge arrays and picks the edge-coefficient
+    policy; :meth:`step` is one vectorized round.  Constructing a simulator
+    never mutates its inputs.
     """
 
     def __init__(
@@ -139,34 +150,14 @@ class WebWaveSimulator:
         self._tree = tree
         self._config = config or WebWaveConfig()
         self._base = LoadAssignment(tree, spontaneous, initial_served)
-        self._loads = list(self._base.served)
-        # Gossip ring buffer: _history[0] is the most recent published state.
-        self._history: List[List[float]] = [self._loads[:]]
-        self._round = 0
-        self._edge_alpha = self._compute_edge_alphas()
-
-    # ------------------------------------------------------------------
-    def _compute_edge_alphas(self) -> Dict[Tuple[int, int], float]:
-        """Per-edge diffusion coefficient, keyed by (parent, child)."""
-        cfg = self._config
-        tree = self._tree
-        alphas: Dict[Tuple[int, int], float] = {}
-        for child in tree:
-            parent = tree.parent(child)
-            if parent is None:
-                continue
-            if cfg.alpha is None:
-                a = min(
-                    1.0 / (tree.degree(parent) + 1),
-                    1.0 / (tree.degree(child) + 1),
-                )
-            elif cfg.unsafe_alpha:
-                a = cfg.alpha
-            else:
-                cap = 1.0 / (max(tree.degree(parent), tree.degree(child)) + 1)
-                a = min(cfg.alpha, cap)
-            alphas[(parent, child)] = a
-        return alphas
+        self._engine = SyncEngine(
+            flatten(tree),
+            self._base.spontaneous,
+            self._base.served,
+            self._config.edge_alphas(tree),
+            gossip_delay=self._config.gossip_delay,
+            quantum=self._config.quantum,
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -175,27 +166,11 @@ class WebWaveSimulator:
 
     @property
     def round(self) -> int:
-        return self._round
+        return self._engine.round
 
     def assignment(self) -> LoadAssignment:
         """The current load assignment."""
-        return self._base.with_served(self._loads)
-
-    def _estimate(self, viewer: int, neighbor: int) -> float:
-        """``L_{viewer,neighbor}``: viewer's possibly stale view of neighbor.
-
-        With ``gossip_delay = d`` the viewer sees the load the neighbour
-        published ``d`` rounds ago (clamped to the initial state early on).
-        """
-        d = self._config.gossip_delay
-        idx = min(d, len(self._history) - 1)
-        return self._history[idx][neighbor]
-
-    def _quantize(self, x: float) -> float:
-        q = self._config.quantum
-        if q <= 0:
-            return x
-        return math.floor(x / q) * q
+        return self._base.with_served(self._engine.served_tuple())
 
     # ------------------------------------------------------------------
     def step(self) -> None:
@@ -207,34 +182,7 @@ class WebWaveSimulator:
         against snapshot values, and each edge transfer only affects the
         ``A`` of its child endpoint).
         """
-        tree = self._tree
-        loads = self._loads
-        snapshot = self._base.with_served(loads)
-        forwarded = snapshot.forwarded
-
-        # Net transfer on each (parent, child) edge; positive means the
-        # parent relegates load down to the child.
-        delta = [0.0] * tree.n  # accumulated change per node
-        for (parent, child), alpha in self._edge_alpha.items():
-            # Parent-side decision: push down, capped by NSS (A_child).
-            # A_child can be transiently negative when spontaneous rates
-            # just dropped (see repro.core.dynamics); never push then.
-            down = alpha * (loads[parent] - self._estimate(parent, child))
-            down = min(max(forwarded[child], 0.0), max(down, 0.0))
-            # Child-side decision: shed up, capped by what it serves.
-            up = alpha * (loads[child] - self._estimate(child, parent))
-            up = min(loads[child], max(up, 0.0))
-            transfer = self._quantize(down) - self._quantize(up)
-            delta[parent] -= transfer
-            delta[child] += transfer
-
-        for i in range(tree.n):
-            loads[i] = max(loads[i] + delta[i], 0.0)
-
-        self._history.insert(0, loads[:])
-        max_keep = self._config.gossip_delay + 1
-        del self._history[max_keep:]
-        self._round += 1
+        self._engine.step()
 
     def run(
         self,
@@ -248,25 +196,27 @@ class WebWaveSimulator:
         same tree and spontaneous rates - the paper's convergence criterion.
         """
         cfg = self._config
+        engine = self._engine
         if target is None:
             target = webfold(self._tree, self._base.spontaneous).assignment
         limit = max_rounds if max_rounds is not None else cfg.max_rounds
+        target_arr = np.asarray(target.served, dtype=np.float64)
 
-        distances = [self.assignment().distance_to(target)]
+        distances = [engine.distance_to(target_arr)]
         history: Optional[List[Tuple[float, ...]]] = (
-            [tuple(self._loads)] if record_history else None
+            [engine.served_tuple()] if record_history else None
         )
         converged = distances[-1] <= cfg.tolerance
-        while not converged and self._round < limit:
-            self.step()
-            distances.append(self.assignment().distance_to(target))
+        while not converged and engine.round < limit:
+            engine.step()
+            distances.append(engine.distance_to(target_arr))
             if history is not None:
-                history.append(tuple(self._loads))
+                history.append(engine.served_tuple())
             converged = distances[-1] <= cfg.tolerance
 
         return WebWaveResult(
             converged=converged,
-            rounds=self._round,
+            rounds=engine.round,
             final=self.assignment(),
             target=target,
             distances=distances,

@@ -14,8 +14,10 @@ folding theory generalizes cleanly:
 With all capacities equal this reduces exactly to WebFold (verified by the
 test-suite), and all structural lemmas carry over: utilizations are
 monotone non-increasing from root to leaves, no load crosses fold
-boundaries, NSS holds.  :func:`weighted_webwave_step` gives the matching
-diffusion rule (equalize utilization, not load, between neighbours).
+boundaries, NSS holds.  :class:`WeightedWebWaveSimulator` gives the
+matching diffusion rule (equalize utilization, not load, between
+neighbours) by running :class:`repro.core.kernel.SyncEngine` with the
+capacity-weighted signal policy.
 """
 
 from __future__ import annotations
@@ -24,6 +26,9 @@ import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from .kernel import SyncEngine, edge_alphas, flatten
 from .load import LoadAssignment
 from .tree import RoutingTree
 
@@ -211,6 +216,9 @@ class WeightedWebWaveSimulator:
     (in utilization) than a child pushes down up to ``A_child``, a hotter
     child sheds up; transfer magnitudes scale with the smaller endpoint
     capacity so the iteration stays stable.
+
+    A facade over :class:`repro.core.kernel.SyncEngine` with the
+    capacity-weighted signal policy enabled.
     """
 
     def __init__(
@@ -228,57 +236,28 @@ class WeightedWebWaveSimulator:
             raise ValueError(f"expected {tree.n} capacities")
         if any(c <= 0 for c in self._caps):
             raise ValueError("capacities must be positive")
-        self._loads = list(self._base.served)
-        self._alpha = alpha
-        self._round = 0
+        flat = flatten(tree)
+        self._engine = SyncEngine(
+            flat,
+            self._base.spontaneous,
+            self._base.served,
+            edge_alphas(flat, alpha, safe=False),
+            capacities=self._caps,
+        )
 
     @property
     def round(self) -> int:
-        return self._round
+        return self._engine.round
 
     def assignment(self) -> LoadAssignment:
-        return self._base.with_served(self._loads)
+        return self._base.with_served(self._engine.served_tuple())
 
     def utilizations(self) -> List[float]:
-        return [l / c for l, c in zip(self._loads, self._caps)]
-
-    def _edge_alpha(self, a: int, b: int) -> float:
-        if self._alpha is not None:
-            return self._alpha
-        return min(
-            1.0 / (self._tree.degree(a) + 1), 1.0 / (self._tree.degree(b) + 1)
-        )
+        return [l / c for l, c in zip(self._engine.loads.tolist(), self._caps)]
 
     def step(self) -> None:
-        """One synchronous utilization-equalizing round."""
-        tree = self._tree
-        loads = self._loads
-        caps = self._caps
-        snapshot = self._base.with_served(loads)
-        forwarded = snapshot.forwarded
-        delta = [0.0] * tree.n
-        for child in tree:
-            parent = tree.parent(child)
-            if parent is None:
-                continue
-            alpha = self._edge_alpha(parent, child)
-            u_p = loads[parent] / caps[parent]
-            u_c = loads[child] / caps[child]
-            # the smaller endpoint capacity bounds the per-round utilization
-            # change at BOTH endpoints by alpha * (u_p - u_c), which keeps
-            # the iteration stable for alpha <= 1/(deg+1)
-            c_edge = min(caps[parent], caps[child])
-            if u_p > u_c:
-                down = min(forwarded[child], alpha * (u_p - u_c) * c_edge)
-                delta[parent] -= down
-                delta[child] += down
-            elif u_c > u_p:
-                up = min(loads[child], alpha * (u_c - u_p) * c_edge)
-                delta[child] -= up
-                delta[parent] += up
-        for i in tree:
-            loads[i] = max(loads[i] + delta[i], 0.0)
-        self._round += 1
+        """One synchronous utilization-equalizing round (vectorized)."""
+        self._engine.step()
 
     def run(
         self,
@@ -287,17 +266,19 @@ class WeightedWebWaveSimulator:
         target: Optional[LoadAssignment] = None,
     ) -> "WeightedRunResult":
         """Iterate to the weighted-TLB target; returns distances per round."""
+        engine = self._engine
         if target is None:
             target = weighted_webfold(
                 self._tree, self._base.spontaneous, self._caps
             ).assignment
-        distances = [self.assignment().distance_to(target)]
-        while distances[-1] > tolerance and self._round < max_rounds:
-            self.step()
-            distances.append(self.assignment().distance_to(target))
+        target_arr = np.asarray(target.served, dtype=np.float64)
+        distances = [engine.distance_to(target_arr)]
+        while distances[-1] > tolerance and engine.round < max_rounds:
+            engine.step()
+            distances.append(engine.distance_to(target_arr))
         return WeightedRunResult(
             converged=distances[-1] <= tolerance,
-            rounds=self._round,
+            rounds=engine.round,
             final=self.assignment(),
             target=target,
             distances=distances,

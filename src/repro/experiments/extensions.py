@@ -10,6 +10,12 @@
   tracking error and recovery time.
 * **E-X9 forest**: overlapping routing trees sharing the same servers -
   the paper's Section 7 future work.
+
+All four rate-level studies are policy variations of one diffusion update:
+their simulators are facades over the shared vectorized engines in
+:mod:`repro.core.kernel` (weighted = utilization signal, async =
+single-node activation order, dynamics = mid-run rate swaps, forest =
+total-load coupling), so they scale together with the kernel.
 """
 
 from __future__ import annotations

@@ -10,6 +10,9 @@ We repeat the experiment over many seeded random trees of a given depth
 (scipy's least-squares replaces S-PLUS), and also sweep the depth to show
 how gamma degrades with tree size - the spectral reality behind Cybenko's
 bound.
+
+Each trial's rounds run on the vectorized :mod:`repro.core.kernel` engine
+(via :func:`run_webwave`), so sweeping deeper/larger trees stays cheap.
 """
 
 from __future__ import annotations

@@ -26,7 +26,7 @@ from .fig6 import run_fig6
 from .fig7 import run_fig7
 from .gamma import run_gamma_study
 from .overhead import run_overhead
-from .scalability import run_scalability
+from .scalability import run_rate_scalability, run_scalability
 from .tunneling import run_tunneling_study
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]
@@ -39,6 +39,10 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[], object]]] = {
     "fig7": ("Figure 7: potential barrier and tunneling recovery", run_fig7),
     "gamma": ("Section 5.1: gamma regression on depth-9 random trees", run_gamma_study),
     "scalability": ("E-X1: protocol comparison under hot-spot load", run_scalability),
+    "rate-scalability": (
+        "Kernel throughput: vectorized Figure 5 round vs the seed loop",
+        run_rate_scalability,
+    ),
     "diffusion": ("E-X2: spectral vs measured diffusion convergence", run_diffusion_theory),
     "alpha": ("E-X3: diffusion-parameter sweep", run_alpha_ablation),
     "delay": ("E-X3: gossip-staleness sweep", run_delay_ablation),

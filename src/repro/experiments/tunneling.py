@@ -12,6 +12,11 @@ Two studies around Section 5.2:
   tunneling nodes and convergence rounds.  More skew concentrates demand in
   fewer documents, which makes barrier configurations rarer; flat
   popularity with scattered demand produces more of them.
+
+These studies run the per-document protocol (:mod:`repro.core.barriers`),
+which still iterates per cached copy; folding its aggregate-rate half onto
+the vectorized :mod:`repro.core.kernel` round is the natural next step now
+that the four rate-level simulators share that engine.
 """
 
 from __future__ import annotations
