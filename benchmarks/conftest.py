@@ -21,6 +21,7 @@ import pytest
 
 REPORT_DIR = pathlib.Path(__file__).parent / "reports"
 BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_kernels.json"
+BENCH_CLUSTER_JSON = pathlib.Path(__file__).parent / "BENCH_cluster.json"
 
 
 @pytest.fixture
@@ -36,19 +37,28 @@ def save_report():
     return _save
 
 
+def _make_recorder(path: pathlib.Path, schema: str):
+    def _record(name: str, payload: dict) -> pathlib.Path:
+        data = {"schema": schema, "entries": {}}
+        if path.exists():
+            data = json.loads(path.read_text())
+        data["entries"][name] = dict(payload, recorded_at=time.strftime("%Y-%m-%d"))
+        path.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+        return path
+
+    return _record
+
+
 @pytest.fixture
 def bench_record():
     """Merge one named entry into benchmarks/BENCH_kernels.json."""
+    return _make_recorder(BENCH_JSON, "bench-kernels/v1")
 
-    def _record(name: str, payload: dict) -> pathlib.Path:
-        data = {"schema": "bench-kernels/v1", "entries": {}}
-        if BENCH_JSON.exists():
-            data = json.loads(BENCH_JSON.read_text())
-        data["entries"][name] = dict(payload, recorded_at=time.strftime("%Y-%m-%d"))
-        BENCH_JSON.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
-        return BENCH_JSON
 
-    return _record
+@pytest.fixture
+def cluster_record():
+    """Merge one named entry into benchmarks/BENCH_cluster.json."""
+    return _make_recorder(BENCH_CLUSTER_JSON, "bench-cluster/v1")
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -1,0 +1,72 @@
+"""The cluster plane: batched multi-document WebWave at catalog scale.
+
+Everything below :mod:`repro.core` balances one document; this package
+runs the whole catalog - thousands of documents, each diffusing over its
+home-rooted tree - in batched array rounds, with document lifecycle
+(publish/retire/rate changes), demand-closure pruning, process sharding,
+per-tick health snapshots, and scenario drivers (flash crowd, diurnal,
+churn).  See ``ARCHITECTURE.md`` ("the cluster plane") for how it sits
+between the kernel and the experiments.
+"""
+
+from .batch import (
+    BatchEngine,
+    batch_forwarded_rates,
+    batch_resettle_served,
+    batch_subtree_accumulate,
+)
+from .metrics import (
+    ClusterMetrics,
+    ClusterSnapshot,
+    TickStats,
+    merge_tick_stats,
+    snapshot_from_stats,
+)
+from .prune import PrunedTree, demand_closure, induced_subtree, pruned_edge_alphas
+from .runtime import ClusterError, ClusterEvent, ClusterRuntime, DocumentRecord
+from .scenarios import (
+    ClusterScenario,
+    churn_scenario,
+    diurnal_scenario,
+    flash_crowd_scenario,
+    population_blocks,
+    population_workload,
+    rerooted_trees,
+    run_scenario,
+    workload_rate_matrix,
+)
+from .sharding import ShardResult, ShardSpec, partition_homes, run_shard, run_sharded
+
+__all__ = [
+    "BatchEngine",
+    "batch_subtree_accumulate",
+    "batch_forwarded_rates",
+    "batch_resettle_served",
+    "PrunedTree",
+    "demand_closure",
+    "induced_subtree",
+    "pruned_edge_alphas",
+    "ClusterError",
+    "ClusterEvent",
+    "ClusterRuntime",
+    "DocumentRecord",
+    "TickStats",
+    "ClusterSnapshot",
+    "ClusterMetrics",
+    "merge_tick_stats",
+    "snapshot_from_stats",
+    "ClusterScenario",
+    "flash_crowd_scenario",
+    "diurnal_scenario",
+    "churn_scenario",
+    "population_blocks",
+    "population_workload",
+    "rerooted_trees",
+    "run_scenario",
+    "workload_rate_matrix",
+    "ShardSpec",
+    "ShardResult",
+    "partition_homes",
+    "run_shard",
+    "run_sharded",
+]

@@ -1,0 +1,346 @@
+"""The batched diffusion engine: D documents x one tree in one array round.
+
+:class:`~repro.core.kernel.SyncEngine` runs the paper's Figure 5 update for
+*one* document.  A catalog-scale system runs it for thousands of documents
+at once, and every document whose home is the same server diffuses over the
+*same* routing tree - only the load vectors differ.  :class:`BatchEngine`
+stacks those documents into ``(D, n)`` load/rate arrays over one shared
+:class:`~repro.core.kernel.FlatTree` and executes one vectorized round for
+all of them simultaneously, eliminating the per-document Python and NumPy
+dispatch overhead that dominates :class:`SyncEngine` at catalog scale.
+
+Exact parity with the per-document engine is a hard contract here
+(``tests/cluster/test_batch.py`` pins it at 1e-12; in practice the
+trajectories are bit-identical):
+
+* the per-edge transfer is computed in *clip form*,
+  ``clip(alpha * (L_p - L_c), -L_c, max(A_c, 0))``, which is
+  floating-point-identical to SyncEngine's ``down - up`` decomposition
+  because exactly one of the two sides is non-zero (negation and
+  multiplication by ``alpha`` are sign-symmetric in IEEE arithmetic);
+* the parent-side scatter uses one flat :func:`numpy.bincount` over the
+  ``D x n`` index space, which accumulates each document's child transfers
+  in ascending edge order - the same order SyncEngine's per-document
+  ``bincount`` uses;
+* the child side needs no reduction at all: every node is the child of at
+  most one edge, so the child contribution is a plain scatter.
+
+The engine keeps the forwarded-rate matrix ``A`` (the NSS caps) with the
+same incremental bookkeeping as SyncEngine - a transfer on edge ``(p, c)``
+only changes ``A_c`` - and recomputes individual *rows* from scratch only
+when that document's round clamps a load at zero (unreachable with safe
+alphas).
+
+Batched counterparts of the kernel's bottom-up passes
+(:func:`batch_subtree_accumulate`, :func:`batch_forwarded_rates`,
+:func:`batch_resettle_served`) run one ``np.add.at`` scatter per tree level
+across all documents at once.
+
+Scratch buffers for the round's intermediates are preallocated per engine
+and reused across rounds, so a steady-state tick allocates only the
+``bincount`` output.  When the tree's root is node 0 (always true for the
+pruned trees :mod:`repro.cluster.prune` builds), the ascending edge order
+makes ``edge_child == 1..n-1`` and the child-side gathers collapse into
+contiguous array views.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.kernel import (
+    FlatTree,
+    degree_edge_alphas,
+    forwarded_rates,
+    resettle_served,
+    subtree_accumulate,
+)
+
+__all__ = [
+    "BatchEngine",
+    "batch_subtree_accumulate",
+    "batch_forwarded_rates",
+    "batch_resettle_served",
+]
+
+
+def _as_matrix(values, n: int, what: str) -> np.ndarray:
+    arr = np.array(values, dtype=np.float64, copy=True)
+    if arr.ndim != 2 or arr.shape[1] != n:
+        raise ValueError(f"expected a (D, {n}) matrix of {what}, got shape {arr.shape}")
+    return arr
+
+
+# ----------------------------------------------------------------------
+# Batched bottom-up passes
+# ----------------------------------------------------------------------
+# The kernel's bottom-up passes take leading batch axes, so the (D, n)
+# document-stack forms are the same functions; the aliases keep the
+# cluster-plane vocabulary (and a place to state the per-document shape).
+
+
+def batch_subtree_accumulate(flat: FlatTree, values: np.ndarray) -> np.ndarray:
+    """Per-document subtree sums: ``out[d, i] = sum values[d, subtree(i)]``."""
+    return subtree_accumulate(flat, values)
+
+
+def batch_forwarded_rates(
+    flat: FlatTree, spontaneous: np.ndarray, served: np.ndarray
+) -> np.ndarray:
+    """Per-document forwarded rates ``A[d] = subtree_sum(E[d] - L[d])``."""
+    return forwarded_rates(flat, spontaneous, served)
+
+
+def batch_resettle_served(
+    flat: FlatTree, rates: np.ndarray, served: np.ndarray
+) -> np.ndarray:
+    """Clamp every document's carried-over loads to its new demand flow.
+
+    One bottom-up pass per level across all rows (Constraint 1: the home
+    absorbs the remainder); mass per document ends up exactly
+    ``rates[d].sum()``.
+    """
+    return resettle_served(flat, rates, served)
+
+
+# ----------------------------------------------------------------------
+# The batched engine
+# ----------------------------------------------------------------------
+class BatchEngine:
+    """Synchronous Figure 5 rounds for ``D`` documents over one tree.
+
+    Parameters
+    ----------
+    flat:
+        The shared flattened routing tree (all documents have the same
+        home, hence the same tree).
+    spontaneous:
+        ``(D, n)`` per-document spontaneous request rates.
+    initial_served:
+        ``(D, n)`` initial served loads; defaults to ``spontaneous``
+        (every request served where it originates), the same start state
+        the per-document simulators use.
+    edge_alpha:
+        Per-edge diffusion coefficients shared by every document;
+        defaults to the paper's degree-based policy.  Pass the *full*
+        tree's coefficients when running on a pruned tree (see
+        :mod:`repro.cluster.prune`) to stay trajectory-identical with the
+        unpruned engines.
+
+    The engine is the uniform-capacity, zero-gossip-delay, continuous
+    transfer configuration of :class:`~repro.core.kernel.SyncEngine` - the
+    configuration every catalog-scale run uses.  The weighted / stale /
+    quantized variants remain per-document concerns.
+    """
+
+    __slots__ = (
+        "flat",
+        "_e",
+        "_loads",
+        "_alpha",
+        "_fwd",
+        "_round",
+        "_contig",
+        "_iep",
+        "_t",
+        "_lo",
+        "_hi",
+        "_d1",
+    )
+
+    def __init__(
+        self,
+        flat: FlatTree,
+        spontaneous,
+        initial_served=None,
+        edge_alpha: Optional[np.ndarray] = None,
+    ) -> None:
+        self.flat = flat
+        n = flat.n
+        self._e = _as_matrix(spontaneous, n, "spontaneous rates")
+        if initial_served is None:
+            self._loads = self._e.copy()
+        else:
+            self._loads = _as_matrix(initial_served, n, "served rates")
+            if self._loads.shape[0] != self._e.shape[0]:
+                raise ValueError("spontaneous and served document counts differ")
+        self._alpha = np.asarray(
+            degree_edge_alphas(flat) if edge_alpha is None else edge_alpha,
+            dtype=np.float64,
+        )
+        if self._alpha.shape != (flat.edge_child.shape[0],):
+            raise ValueError(
+                f"expected {flat.edge_child.shape[0]} edge alphas, "
+                f"got shape {self._alpha.shape}"
+            )
+        # With the root at node 0, the ascending edge order makes
+        # edge_child exactly 1..n-1: child-side gathers become views.
+        self._contig = flat.root == 0
+        self._fwd = batch_forwarded_rates(flat, self._e, self._loads)
+        self._round = 0
+        self._alloc_scratch()
+
+    def _alloc_scratch(self) -> None:
+        d, n = self._loads.shape
+        m = n - 1
+        self._iep = (
+            (np.arange(d, dtype=np.intp) * n)[:, None] + self.flat.edge_parent[None, :]
+        ).ravel()
+        self._t = np.empty((d, m))
+        self._lo = np.empty((d, m))
+        self._hi = np.empty((d, m))
+        self._d1 = np.empty((d, n))
+
+    # -- read-only views -------------------------------------------------
+    @property
+    def docs(self) -> int:
+        """Number of documents currently stacked in the engine."""
+        return self._loads.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.flat.n
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Current ``(D, n)`` served loads (a live view; do not mutate)."""
+        return self._loads
+
+    @property
+    def spontaneous(self) -> np.ndarray:
+        return self._e
+
+    def loads_of(self, row: int) -> np.ndarray:
+        """One document's served-load vector (a live view)."""
+        return self._loads[row]
+
+    def doc_masses(self) -> np.ndarray:
+        """Total served load per document, ``(D,)``."""
+        return self._loads.sum(axis=1)
+
+    def node_totals(self) -> np.ndarray:
+        """Per-node load summed over every document, ``(n,)``."""
+        return self._loads.sum(axis=0)
+
+    def distances_to(self, targets: np.ndarray) -> np.ndarray:
+        """Per-document Euclidean distance to ``targets`` (``(D, n)``)."""
+        return np.linalg.norm(self._loads - targets, axis=1)
+
+    # -- document lifecycle ------------------------------------------------
+    def add_documents(self, spontaneous, initial_served=None) -> range:
+        """Stack additional document rows; returns their row indices."""
+        e = _as_matrix(spontaneous, self.flat.n, "spontaneous rates")
+        served = (
+            e.copy()
+            if initial_served is None
+            else _as_matrix(initial_served, self.flat.n, "served rates")
+        )
+        if served.shape[0] != e.shape[0]:
+            raise ValueError("spontaneous and served document counts differ")
+        first = self._loads.shape[0]
+        self._e = np.concatenate([self._e, e])
+        self._loads = np.concatenate([self._loads, served])
+        self._fwd = np.concatenate(
+            [self._fwd, batch_forwarded_rates(self.flat, e, served)]
+        )
+        self._alloc_scratch()
+        return range(first, first + e.shape[0])
+
+    def remove_documents(self, rows: Sequence[int]) -> np.ndarray:
+        """Drop document rows; returns the removed masses, ``(len(rows),)``.
+
+        Remaining rows keep their relative order (later rows shift down).
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        removed = self._loads[rows].sum(axis=1)
+        self._e = np.delete(self._e, rows, axis=0)
+        self._loads = np.delete(self._loads, rows, axis=0)
+        self._fwd = np.delete(self._fwd, rows, axis=0)
+        self._alloc_scratch()
+        return removed
+
+    # -- rate schedule -----------------------------------------------------
+    def resettle(self, rates) -> None:
+        """Swap every document's rates, clamping carried-over loads."""
+        rates_arr = _as_matrix(rates, self.flat.n, "spontaneous rates")
+        if rates_arr.shape[0] != self._loads.shape[0]:
+            raise ValueError("rate matrix document count differs")
+        self._e = rates_arr
+        self._loads = batch_resettle_served(self.flat, rates_arr, self._loads)
+        self._fwd = batch_forwarded_rates(self.flat, rates_arr, self._loads)
+
+    def resettle_rows(self, rows: Sequence[int], rates) -> None:
+        """Swap the rates of a subset of documents, clamping their loads."""
+        rows = np.asarray(rows, dtype=np.intp)
+        rates_arr = _as_matrix(rates, self.flat.n, "spontaneous rates")
+        self._e[rows] = rates_arr
+        self._loads[rows] = batch_resettle_served(
+            self.flat, rates_arr, self._loads[rows]
+        )
+        self._fwd[rows] = batch_forwarded_rates(
+            self.flat, rates_arr, self._loads[rows]
+        )
+
+    # -- the round ---------------------------------------------------------
+    def step(self) -> None:
+        """One synchronous diffusion round for every document at once."""
+        flat = self.flat
+        n = flat.n
+        d = self._loads.shape[0]
+        if n <= 1 or d == 0:
+            self._round += 1
+            return
+        loads, fwd, t = self._loads, self._fwd, self._t
+        ep = flat.edge_parent
+        if self._contig:
+            lec = loads[:, 1:]
+            fec = fwd[:, 1:]
+        else:
+            lec = loads[:, flat.edge_child]
+            fec = fwd[:, flat.edge_child]
+
+        # transfer = clip(alpha * (L_p - L_c), -L_c, max(A_c, 0)); exactly
+        # SyncEngine's down - up because only one side is ever non-zero.
+        np.take(loads, ep, axis=1, out=t)
+        np.subtract(t, lec, out=t)
+        np.multiply(t, self._alpha, out=t)
+        np.negative(lec, out=self._lo)
+        np.maximum(fec, 0.0, out=self._hi)
+        np.clip(t, self._lo, self._hi, out=t)
+
+        # delta = child scatter - parent bincount, in SyncEngine's order.
+        d1 = self._d1
+        if self._contig:
+            d1[:, 0] = 0.0
+            d1[:, 1:] = t
+        else:
+            d1[:, flat.root] = 0.0
+            d1[:, flat.edge_child] = t
+        d2 = np.bincount(self._iep, weights=t.ravel(), minlength=d * n)
+        np.subtract(d1, d2.reshape(d, n), out=d1)
+        np.add(loads, d1, out=loads)
+
+        # Incremental NSS caps for every document; rows that clamped a load
+        # at zero (unsafe alphas only) are recomputed from scratch, exactly
+        # as the per-document engine does.
+        if self._contig:
+            fwd[:, 1:] -= t
+        else:
+            fwd[:, flat.edge_child] -= t
+        row_min = loads.min(axis=1)
+        if row_min.min() < 0.0:
+            rows = np.flatnonzero(row_min < 0.0)
+            loads[rows] = np.maximum(loads[rows], 0.0)
+            fwd[rows] = batch_forwarded_rates(flat, self._e[rows], loads[rows])
+        self._round += 1
+
+    def run(self, rounds: int) -> None:
+        """Advance every document by ``rounds`` synchronous rounds."""
+        for _ in range(rounds):
+            self.step()

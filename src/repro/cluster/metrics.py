@@ -1,0 +1,226 @@
+"""Per-tick cluster health snapshots, mergeable across process shards.
+
+The cluster runtime reduces each tick to one :class:`ClusterSnapshot`: how
+many documents are live, how hot the hottest server is, how fair the load
+spread is (Jain), and - when TLB tracking is on - how far the catalog sits
+from the per-document optima and what fraction of documents have converged.
+
+Snapshots are *derived* from :class:`TickStats`, a plain additive record
+(per-node totals, sums of squared distances, counts).  Shards compute
+TickStats locally, the parent sums them, and both the inline and the
+sharded paths build snapshots through the same
+:func:`snapshot_from_stats`, so a sharded run reports exactly what the
+same run would report in-process.
+
+:class:`ClusterMetrics` is the series container the experiments layer
+consumes; its :meth:`~ClusterMetrics.report` renders the paper-style table
+via :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.metrics import jain_fairness
+from ..analysis.tables import format_table
+
+__all__ = [
+    "TickStats",
+    "ClusterSnapshot",
+    "ClusterMetrics",
+    "merge_tick_stats",
+    "snapshot_from_stats",
+]
+
+
+@dataclass
+class TickStats:
+    """Additive per-tick aggregates; summing two shards' stats is merging.
+
+    ``sq_distance`` / ``sq_target`` / ``converged`` are ``None`` when TLB
+    tracking is off (merging treats ``None`` as absent on both sides).
+    """
+
+    tick: int
+    documents: int
+    total_rate: float
+    mass: float
+    node_totals: np.ndarray
+    sq_distance: Optional[float] = None
+    sq_target: Optional[float] = None
+    converged: Optional[int] = None
+
+
+def merge_tick_stats(parts: Sequence[TickStats]) -> TickStats:
+    """Sum shard-local stats for one tick into the cluster-wide record."""
+    if not parts:
+        raise ValueError("need at least one shard's stats")
+    ticks = {p.tick for p in parts}
+    if len(ticks) != 1:
+        raise ValueError(f"stats from different ticks: {sorted(ticks)}")
+    tracked = [p for p in parts if p.sq_distance is not None]
+    node_totals = np.zeros_like(np.asarray(parts[0].node_totals, dtype=np.float64))
+    for p in parts:
+        node_totals += np.asarray(p.node_totals, dtype=np.float64)
+    return TickStats(
+        tick=parts[0].tick,
+        documents=sum(p.documents for p in parts),
+        total_rate=sum(p.total_rate for p in parts),
+        mass=sum(p.mass for p in parts),
+        node_totals=node_totals,
+        sq_distance=sum(p.sq_distance for p in tracked) if tracked else None,
+        sq_target=sum(p.sq_target for p in tracked) if tracked else None,
+        converged=sum(p.converged for p in tracked) if tracked else None,
+    )
+
+
+@dataclass(frozen=True)
+class ClusterSnapshot:
+    """One tick of catalog-wide health.
+
+    Attributes
+    ----------
+    tick:
+        Diffusion round index the snapshot was taken after.
+    documents:
+        Live documents across every home.
+    total_rate:
+        Offered spontaneous rate summed over documents and nodes.
+    mass:
+        Served load summed over documents and nodes (equals
+        ``total_rate`` whenever the runtime's invariants hold).
+    max_load / max_utilization:
+        Hottest server's total load, raw and divided by its capacity.
+    fairness:
+        Jain's index over per-node totals (1 = perfectly even).
+    tlb_gap:
+        ``||L - L*|| / ||L*||`` over the stacked catalog (``None`` when
+        TLB tracking is off).
+    converged_fraction:
+        Fraction of documents within the runtime's tolerance of their own
+        TLB optimum (``None`` when tracking is off).
+    """
+
+    tick: int
+    documents: int
+    total_rate: float
+    mass: float
+    max_load: float
+    max_utilization: float
+    fairness: float
+    tlb_gap: Optional[float]
+    converged_fraction: Optional[float]
+
+    HEADERS = [
+        "tick",
+        "docs",
+        "rate",
+        "mass",
+        "max L",
+        "max util",
+        "jain",
+        "tlb gap",
+        "conv%",
+    ]
+
+    def as_row(self) -> List:
+        return [
+            self.tick,
+            self.documents,
+            round(self.total_rate, 3),
+            round(self.mass, 3),
+            round(self.max_load, 3),
+            round(self.max_utilization, 3),
+            round(self.fairness, 3),
+            "-" if self.tlb_gap is None else round(self.tlb_gap, 4),
+            "-"
+            if self.converged_fraction is None
+            else round(self.converged_fraction * 100.0, 1),
+        ]
+
+
+def snapshot_from_stats(
+    stats: TickStats, capacities: Optional[np.ndarray] = None
+) -> ClusterSnapshot:
+    """Derive the reported snapshot from (possibly merged) tick stats."""
+    totals = np.asarray(stats.node_totals, dtype=np.float64)
+    utilization = totals if capacities is None else totals / capacities
+    if stats.sq_distance is None:
+        tlb_gap = None
+        converged_fraction = None
+    else:
+        tlb_gap = (
+            math.sqrt(stats.sq_distance) / math.sqrt(stats.sq_target)
+            if stats.sq_target and stats.sq_target > 0.0
+            else 0.0
+        )
+        converged_fraction = (
+            stats.converged / stats.documents if stats.documents else 1.0
+        )
+    return ClusterSnapshot(
+        tick=stats.tick,
+        documents=stats.documents,
+        total_rate=stats.total_rate,
+        mass=stats.mass,
+        max_load=float(totals.max()) if totals.size else 0.0,
+        max_utilization=float(utilization.max()) if totals.size else 0.0,
+        fairness=jain_fairness(totals.tolist()) if totals.size else 1.0,
+        tlb_gap=tlb_gap,
+        converged_fraction=converged_fraction,
+    )
+
+
+class ClusterMetrics:
+    """The snapshot series one cluster run produces."""
+
+    def __init__(self, snapshots: Sequence[ClusterSnapshot] = ()) -> None:
+        self._snapshots: List[ClusterSnapshot] = list(snapshots)
+
+    def append(self, snapshot: ClusterSnapshot) -> None:
+        self._snapshots.append(snapshot)
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def __iter__(self):
+        return iter(self._snapshots)
+
+    def __getitem__(self, idx: int) -> ClusterSnapshot:
+        return self._snapshots[idx]
+
+    @property
+    def final(self) -> ClusterSnapshot:
+        if not self._snapshots:
+            raise ValueError("no snapshots recorded")
+        return self._snapshots[-1]
+
+    def series(self, field: str) -> List:
+        """One column of the snapshot table as a list (e.g. ``"max_load"``)."""
+        return [getattr(s, field) for s in self._snapshots]
+
+    @property
+    def peak_utilization(self) -> float:
+        return max((s.max_utilization for s in self._snapshots), default=0.0)
+
+    def report(self, title: str = "Cluster run") -> str:
+        return format_table(
+            ClusterSnapshot.HEADERS,
+            [s.as_row() for s in self._snapshots],
+            precision=3,
+            title=title,
+        )
+
+    def as_dict(self) -> Dict[str, List]:
+        """Machine-readable series (for the benchmark JSON records)."""
+        return {
+            "ticks": self.series("tick"),
+            "documents": self.series("documents"),
+            "max_utilization": self.series("max_utilization"),
+            "fairness": self.series("fairness"),
+            "tlb_gap": self.series("tlb_gap"),
+            "converged_fraction": self.series("converged_fraction"),
+        }

@@ -1,0 +1,656 @@
+"""The cluster runtime: a whole document catalog diffusing at once.
+
+The paper's system is a *catalog* of hot published documents, each
+diffusing load over its own home-rooted tree (Sections 3 and 7).  After
+PR 1 every engine in the repo still balanced exactly one document;
+:class:`ClusterRuntime` owns the missing plane:
+
+* **catalog -> tree grouping** - documents are grouped by home server
+  (one shared :class:`~repro.core.kernel.FlatTree` per distinct home) and,
+  within a home, into *cohorts* by demand closure
+  (:mod:`repro.cluster.prune`), each cohort one
+  :class:`~repro.cluster.batch.BatchEngine` over its pruned tree;
+* **document lifecycle** - :meth:`publish` and :meth:`retire` add and drop
+  documents mid-run, and :meth:`set_rates` / :meth:`scale_rates` swap
+  demand with the mass-conserving resettle (carried-over loads clamp to
+  the flow the new demand supports; the home absorbs the remainder), so
+  total served mass always equals total offered rate;
+* **ticks and snapshots** - :meth:`tick` advances every document by one
+  synchronous round; :meth:`snapshot` reduces the catalog to one
+  :class:`~repro.cluster.metrics.ClusterSnapshot` (max utilization, Jain
+  fairness, TLB gap, converged fraction);
+* **process sharding** - :meth:`run` optionally partitions homes across
+  ``multiprocessing`` workers (documents on different trees never
+  interact), merging per-tick stats and final document states so a
+  sharded run is observationally identical to the inline one
+  (:mod:`repro.cluster.sharding`).
+
+Scheduled lifecycle changes are :class:`ClusterEvent` values; the scenario
+drivers in :mod:`repro.cluster.scenarios` compile flash crowds, diurnal
+swings and catalog churn down to event lists.
+
+Invariants (property-tested in ``tests/cluster/``): per-document mass
+conservation across ticks and lifecycle events, non-negative loads,
+non-negative forwarded rates (NSS), and 1e-12 agreement with per-document
+:class:`~repro.core.kernel.SyncEngine` trajectories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.kernel import FlatTree, degree_edge_alphas, fixed_edge_alphas, flatten, resettle_served
+from ..core.tree import RoutingTree
+from ..core.webfold import webfold
+from .batch import BatchEngine
+from .metrics import ClusterMetrics, ClusterSnapshot, TickStats, snapshot_from_stats
+from .prune import PrunedTree, demand_closure, induced_subtree, pruned_edge_alphas
+
+__all__ = ["ClusterError", "ClusterEvent", "DocumentRecord", "ClusterRuntime"]
+
+
+class ClusterError(ValueError):
+    """Raised for inconsistent cluster operations."""
+
+
+@dataclass(frozen=True)
+class ClusterEvent:
+    """One scheduled lifecycle change, applied just before tick ``tick``.
+
+    ``action`` is one of ``"publish"`` (needs ``home`` and ``rates``),
+    ``"retire"``, ``"set_rates"`` (needs ``rates``), or ``"scale"``
+    (needs ``factor``; ``doc_id=None`` scales the whole catalog).
+    """
+
+    tick: int
+    action: str
+    doc_id: Optional[str] = None
+    home: Optional[int] = None
+    rates: Optional[Tuple[float, ...]] = None
+    factor: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ("publish", "retire", "set_rates", "scale"):
+            raise ClusterError(f"unknown event action {self.action!r}")
+        if self.action == "publish" and (
+            self.doc_id is None or self.home is None or self.rates is None
+        ):
+            raise ClusterError("publish events need doc_id, home and rates")
+        if self.action == "set_rates" and (self.doc_id is None or self.rates is None):
+            raise ClusterError("set_rates events need doc_id and rates")
+        if self.action == "retire" and self.doc_id is None:
+            raise ClusterError("retire events need doc_id")
+        if self.action == "scale" and self.factor is None:
+            raise ClusterError("scale events need a factor")
+
+
+@dataclass(frozen=True)
+class DocumentRecord:
+    """One document's full dense state (used to move state across shards)."""
+
+    doc_id: str
+    home: int
+    rates: Tuple[float, ...]
+    served: Tuple[float, ...]
+
+
+class _Cohort:
+    """Documents of one home sharing one demand closure -> one engine."""
+
+    __slots__ = ("pruned", "engine", "doc_ids", "_rows", "targets", "target_norms")
+
+    def __init__(
+        self,
+        pruned: PrunedTree,
+        edge_alpha: np.ndarray,
+        doc_id: str,
+        rates: np.ndarray,
+        served: np.ndarray,
+    ) -> None:
+        self.pruned = pruned
+        self.engine = BatchEngine(
+            flatten(pruned.tree), rates[None, :], served[None, :], edge_alpha
+        )
+        self.doc_ids: List[str] = [doc_id]
+        self._rows: Dict[str, int] = {doc_id: 0}
+        self.targets: Optional[np.ndarray] = None
+        self.target_norms: Optional[np.ndarray] = None
+
+    def row_of(self, doc_id: str) -> int:
+        return self._rows[doc_id]
+
+    def append_doc(self, doc_id: str) -> None:
+        self._rows[doc_id] = len(self.doc_ids)
+        self.doc_ids.append(doc_id)
+
+    def drop_doc(self, row: int) -> None:
+        del self._rows[self.doc_ids.pop(row)]
+        for later in self.doc_ids[row:]:
+            self._rows[later] -= 1
+
+
+class _HomeGroup:
+    """All cohorts rooted at one home server."""
+
+    __slots__ = ("home", "tree", "flat", "edge_alpha", "cohorts")
+
+    def __init__(self, home: int, tree: RoutingTree, edge_alpha: np.ndarray) -> None:
+        if tree.root != home:
+            raise ClusterError(f"tree for home {home} is rooted at {tree.root}")
+        self.home = home
+        self.tree = tree
+        self.flat = flatten(tree)
+        self.edge_alpha = edge_alpha
+        self.cohorts: Dict[bytes, _Cohort] = {}
+
+
+class ClusterRuntime:
+    """Run WebWave diffusion for an entire document catalog.
+
+    Parameters
+    ----------
+    trees:
+        Either a mapping ``{home: RoutingTree}`` or a callable
+        ``home -> RoutingTree`` (e.g. a shortest-path-tree extractor over
+        one topology).  All trees must cover the same ``n`` servers.
+    alpha:
+        ``None`` for the paper's degree-based edge coefficients, or one
+        safety-capped value for every edge.
+    capacities:
+        Optional per-server capacity vector; utilization snapshots divide
+        by it (default: unit capacities, so utilization equals load).
+    track_tlb:
+        Compute each document's TLB optimum (WebFold on its pruned tree)
+        at publish/rate-change time and report per-tick TLB gap and
+        converged fraction.  Costs one ``O(s log s)`` fold per document
+        lifecycle change, nothing per tick beyond a distance evaluation.
+    tolerance:
+        Relative distance below which a document counts as converged.
+    prune:
+        Run each cohort on its demand closure (identical trajectories,
+        far less work).  ``False`` forces full-width engines - useful for
+        benchmarking the pruning itself.
+    """
+
+    def __init__(
+        self,
+        trees: Union[Mapping[int, RoutingTree], Callable[[int], RoutingTree]],
+        *,
+        alpha: Optional[float] = None,
+        capacities: Optional[Sequence[float]] = None,
+        track_tlb: bool = False,
+        tolerance: float = 1e-3,
+        prune: bool = True,
+    ) -> None:
+        if callable(trees) and not isinstance(trees, Mapping):
+            self._tree_source: Callable[[int], RoutingTree] = trees
+        else:
+            mapping = dict(trees)
+
+            def _lookup(home: int) -> RoutingTree:
+                try:
+                    return mapping[home]
+                except KeyError:
+                    raise ClusterError(f"no routing tree for home {home}") from None
+
+            self._tree_source = _lookup
+        self._alpha = alpha
+        self._capacities = (
+            None if capacities is None else np.asarray(capacities, dtype=np.float64)
+        )
+        self._track_tlb = bool(track_tlb)
+        self._tolerance = float(tolerance)
+        self._prune = bool(prune)
+        self._groups: Dict[int, _HomeGroup] = {}
+        self._doc_home: Dict[str, int] = {}
+        self._doc_cohort: Dict[str, bytes] = {}
+        self._n: Optional[int] = None
+        self._tick = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def tick_count(self) -> int:
+        """Diffusion rounds executed so far."""
+        return self._tick
+
+    @property
+    def n(self) -> int:
+        """Number of servers (0 before the first publish)."""
+        return self._n or 0
+
+    @property
+    def doc_ids(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._doc_home))
+
+    @property
+    def homes(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._groups))
+
+    @property
+    def documents(self) -> int:
+        return len(self._doc_home)
+
+    @property
+    def cohort_count(self) -> int:
+        return sum(len(g.cohorts) for g in self._groups.values())
+
+    def home_of(self, doc_id: str) -> int:
+        try:
+            return self._doc_home[doc_id]
+        except KeyError:
+            raise ClusterError(f"unknown document {doc_id!r}") from None
+
+    def _cohort_of(self, doc_id: str) -> Tuple[_HomeGroup, _Cohort, int]:
+        home = self.home_of(doc_id)
+        group = self._groups[home]
+        cohort = group.cohorts[self._doc_cohort[doc_id]]
+        return group, cohort, cohort.row_of(doc_id)
+
+    def document_loads(self, doc_id: str) -> np.ndarray:
+        """One document's served loads as a dense ``(n,)`` vector."""
+        _, cohort, row = self._cohort_of(doc_id)
+        return cohort.pruned.expand(cohort.engine.loads_of(row), self._n)
+
+    def document_rates(self, doc_id: str) -> np.ndarray:
+        """One document's spontaneous rates as a dense ``(n,)`` vector."""
+        _, cohort, row = self._cohort_of(doc_id)
+        return cohort.pruned.expand(cohort.engine.spontaneous[row], self._n)
+
+    def node_totals(self) -> np.ndarray:
+        """Per-server load summed over the whole catalog, ``(n,)``."""
+        totals = np.zeros(self._n or 0, dtype=np.float64)
+        for home in sorted(self._groups):
+            group = self._groups[home]
+            for key in sorted(group.cohorts):
+                cohort = group.cohorts[key]
+                totals[cohort.pruned.nodes] += cohort.engine.node_totals()
+        return totals
+
+    def total_mass(self) -> float:
+        """Served load summed over every document and server."""
+        return sum(
+            float(c.engine.loads.sum())
+            for g in self._groups.values()
+            for c in g.cohorts.values()
+        )
+
+    def total_rate(self) -> float:
+        """Offered spontaneous rate summed over every document and server."""
+        return sum(
+            float(c.engine.spontaneous.sum())
+            for g in self._groups.values()
+            for c in g.cohorts.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Document lifecycle
+    # ------------------------------------------------------------------
+    def _group(self, home: int) -> _HomeGroup:
+        group = self._groups.get(home)
+        if group is None:
+            tree = self._tree_source(home)
+            if self._n is None:
+                self._n = tree.n
+                if self._capacities is not None and self._capacities.shape != (tree.n,):
+                    raise ClusterError(
+                        f"expected {tree.n} capacities, got {self._capacities.shape}"
+                    )
+            elif tree.n != self._n:
+                raise ClusterError(
+                    f"tree for home {home} has {tree.n} nodes, cluster has {self._n}"
+                )
+            flat = flatten(tree)
+            edge_alpha = (
+                degree_edge_alphas(flat)
+                if self._alpha is None
+                else fixed_edge_alphas(flat, self._alpha)
+            )
+            group = _HomeGroup(home, tree, edge_alpha)
+            self._groups[home] = group
+        return group
+
+    def _as_rates(self, rates: Sequence[float]) -> np.ndarray:
+        arr = np.asarray(rates, dtype=np.float64)
+        if self._n is not None and arr.shape != (self._n,):
+            raise ClusterError(f"expected {self._n} rates, got shape {arr.shape}")
+        if arr.min(initial=0.0) < 0.0:
+            raise ClusterError("rates must be non-negative")
+        return arr
+
+    def _set_target(self, cohort: _Cohort, row: int) -> None:
+        """Recompute one existing document's TLB target (rate change)."""
+        if not self._track_tlb:
+            return
+        target = np.asarray(
+            webfold(
+                cohort.pruned.tree, cohort.engine.spontaneous[row].tolist()
+            ).assignment.served,
+            dtype=np.float64,
+        )
+        cohort.targets[row] = target
+        cohort.target_norms[row] = np.linalg.norm(target)
+
+    def _extend_targets(self, cohort: _Cohort, count: int) -> None:
+        """Compute TLB targets for the ``count`` newest engine rows."""
+        if not self._track_tlb or count == 0:
+            return
+        first = cohort.engine.docs - count
+        fresh = np.asarray(
+            [
+                webfold(
+                    cohort.pruned.tree, cohort.engine.spontaneous[row].tolist()
+                ).assignment.served
+                for row in range(first, cohort.engine.docs)
+            ],
+            dtype=np.float64,
+        )
+        norms = np.linalg.norm(fresh, axis=1)
+        if cohort.targets is None:
+            cohort.targets = fresh
+            cohort.target_norms = norms
+        else:
+            cohort.targets = np.concatenate([cohort.targets, fresh])
+            cohort.target_norms = np.concatenate([cohort.target_norms, norms])
+
+    def publish_many(
+        self,
+        documents: Sequence[Tuple],
+    ) -> None:
+        """Publish a batch of documents with one engine grow per cohort.
+
+        ``documents`` holds ``(doc_id, home, rates)`` or
+        ``(doc_id, home, rates, served)`` tuples.  Equivalent to calling
+        :meth:`publish` once per document, but catalog builds and shard
+        merge-backs stay O(catalog) instead of O(catalog^2) in copied
+        engine state.
+        """
+        prepared: List[Tuple[str, int, bytes, np.ndarray, np.ndarray, np.ndarray]] = []
+        seen = set()
+        for item in documents:
+            doc_id, home, rates = item[0], item[1], item[2]
+            served = item[3] if len(item) > 3 else None
+            if doc_id in self._doc_home or doc_id in seen:
+                raise ClusterError(f"duplicate document {doc_id!r}")
+            seen.add(doc_id)
+            group = self._group(home)
+            rates_arr = self._as_rates(rates)
+            closure = demand_closure(group.flat, rates_arr)
+            if served is None:
+                served_arr = rates_arr.copy()
+            else:
+                # A served vector with mass outside the rates' demand
+                # closure is resettled on the full tree - the load flows
+                # up through the closure to the home - so no mass is ever
+                # silently dropped.
+                served_arr = self._as_rates(served)
+                if float(served_arr[~closure].sum()) > 0.0:
+                    served_arr = resettle_served(group.flat, rates_arr, served_arr)
+            mask = closure if self._prune else np.ones(group.flat.n, dtype=bool)
+            key = np.packbits(mask).tobytes()
+            prepared.append((doc_id, home, key, mask, rates_arr, served_arr))
+
+        batches: Dict[Tuple[int, bytes], List] = {}
+        for entry in prepared:
+            batches.setdefault((entry[1], entry[2]), []).append(entry)
+        for (home, key), entries in batches.items():
+            group = self._groups[home]
+            cohort = group.cohorts.get(key)
+            start = 0
+            if cohort is None:
+                doc_id, _, _, mask, rates_arr, served_arr = entries[0]
+                pruned = induced_subtree(group.tree, mask)
+                alphas = pruned_edge_alphas(group.flat, pruned, group.edge_alpha)
+                cohort = _Cohort(
+                    pruned,
+                    alphas,
+                    doc_id,
+                    pruned.restrict(rates_arr),
+                    pruned.restrict(served_arr),
+                )
+                group.cohorts[key] = cohort
+                self._doc_home[doc_id] = home
+                self._doc_cohort[doc_id] = key
+                start = 1
+            rest = entries[start:]
+            if rest:
+                cohort.engine.add_documents(
+                    np.stack([cohort.pruned.restrict(e[4]) for e in rest]),
+                    np.stack([cohort.pruned.restrict(e[5]) for e in rest]),
+                )
+                for e in rest:
+                    cohort.append_doc(e[0])
+                    self._doc_home[e[0]] = home
+                    self._doc_cohort[e[0]] = key
+            self._extend_targets(cohort, len(entries))
+
+    def publish(
+        self,
+        doc_id: str,
+        home: int,
+        rates: Sequence[float],
+        served: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Add one document mid-run.
+
+        New documents start with every request served at its origin
+        (``served = rates``), the same initial condition the per-document
+        simulators use, so published mass equals offered rate from the
+        first tick.  ``served`` overrides that (used when shards rebuild
+        mid-run state); see :meth:`publish_many` for bulk catalogs.
+        """
+        if served is None:
+            self.publish_many([(doc_id, home, rates)])
+        else:
+            self.publish_many([(doc_id, home, rates, served)])
+
+    def retire(self, doc_id: str) -> float:
+        """Drop a document; returns the served mass that left with it."""
+        group, cohort, row = self._cohort_of(doc_id)
+        removed = float(cohort.engine.remove_documents([row])[0])
+        cohort.drop_doc(row)
+        if cohort.targets is not None:
+            cohort.targets = np.delete(cohort.targets, row, axis=0)
+            cohort.target_norms = np.delete(cohort.target_norms, row)
+        if not cohort.doc_ids:
+            del group.cohorts[self._doc_cohort[doc_id]]
+        del self._doc_home[doc_id]
+        del self._doc_cohort[doc_id]
+        return removed
+
+    def set_rates(self, doc_id: str, rates: Sequence[float]) -> None:
+        """Swap one document's demand, resettling its carried-over loads.
+
+        Mass-conserving in the model's sense: the document's served mass
+        becomes exactly the new offered rate, with dropped demand shed
+        toward the home and new unmet demand absorbed there (Constraint 1)
+        - the same semantics as
+        :meth:`repro.core.kernel.SyncEngine.resettle`.
+        """
+        group, cohort, row = self._cohort_of(doc_id)
+        rates_arr = self._as_rates(rates)
+        if self._prune:
+            mask = demand_closure(group.flat, rates_arr)
+        else:
+            mask = np.ones(group.flat.n, dtype=bool)
+        key = np.packbits(mask).tobytes()
+        if key == self._doc_cohort[doc_id]:
+            cohort.engine.resettle_rows([row], cohort.pruned.restrict(rates_arr)[None, :])
+            self._set_target(cohort, row)
+            return
+        # The closure changed: resettle on the full tree (load served
+        # outside the new closure must flow up through it), then move the
+        # document to its new cohort.
+        served = cohort.pruned.expand(cohort.engine.loads_of(row), self._n)
+        resettled = resettle_served(group.flat, rates_arr, served)
+        home = self._doc_home[doc_id]
+        self.retire(doc_id)
+        self.publish_many([(doc_id, home, rates_arr, resettled)])
+
+    def scale_rates(
+        self, factor: float, doc_ids: Optional[Sequence[str]] = None
+    ) -> None:
+        """Multiply demand by ``factor`` (whole catalog or listed docs)."""
+        if factor < 0.0:
+            raise ClusterError("scale factor must be non-negative")
+        if doc_ids is not None or factor == 0.0:
+            for doc_id in list(doc_ids if doc_ids is not None else self._doc_home):
+                self.set_rates(doc_id, self.document_rates(doc_id) * factor)
+            return
+        # A uniform positive scaling keeps every demand closure, so every
+        # cohort resettles in one batched pass; TLB targets scale linearly
+        # (folds compare per-node loads, which all scale together).
+        for group in self._groups.values():
+            for cohort in group.cohorts.values():
+                cohort.engine.resettle(cohort.engine.spontaneous * factor)
+                if cohort.targets is not None:
+                    cohort.targets = cohort.targets * factor
+                    cohort.target_norms = cohort.target_norms * factor
+
+    def apply(self, event: ClusterEvent) -> None:
+        """Apply one lifecycle event now (its ``tick`` field is advisory)."""
+        if event.action == "publish":
+            self.publish(event.doc_id, event.home, event.rates)
+        elif event.action == "retire":
+            self.retire(event.doc_id)
+        elif event.action == "set_rates":
+            self.set_rates(event.doc_id, event.rates)
+        else:
+            self.scale_rates(event.factor, None if event.doc_id is None else [event.doc_id])
+
+    # ------------------------------------------------------------------
+    # Ticks, snapshots, runs
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        """Advance every document in the catalog by one diffusion round."""
+        for group in self._groups.values():
+            for cohort in group.cohorts.values():
+                cohort.engine.step()
+        self._tick += 1
+
+    def tick_stats(self) -> TickStats:
+        """The additive per-tick aggregates (shard-mergeable)."""
+        sq_distance = sq_target = None
+        converged = None
+        if self._track_tlb:
+            sq_distance = sq_target = 0.0
+            converged = 0
+            for group in self._groups.values():
+                for cohort in group.cohorts.values():
+                    dist = cohort.engine.distances_to(cohort.targets)
+                    sq_distance += float(np.square(dist).sum())
+                    sq_target += float(np.square(cohort.target_norms).sum())
+                    converged += int(
+                        np.count_nonzero(
+                            dist <= self._tolerance * np.maximum(cohort.target_norms, 1e-30)
+                        )
+                    )
+        return TickStats(
+            tick=self._tick,
+            documents=self.documents,
+            total_rate=self.total_rate(),
+            mass=self.total_mass(),
+            node_totals=self.node_totals(),
+            sq_distance=sq_distance,
+            sq_target=sq_target,
+            converged=converged,
+        )
+
+    def snapshot(self) -> "ClusterSnapshot":
+        """One :class:`~repro.cluster.metrics.ClusterSnapshot` of right now."""
+        return snapshot_from_stats(self.tick_stats(), self._capacities)
+
+    def document_records(self) -> List[DocumentRecord]:
+        """Dense per-document state (rates + served), sorted by doc id."""
+        return [
+            DocumentRecord(
+                doc_id=doc_id,
+                home=self._doc_home[doc_id],
+                rates=tuple(self.document_rates(doc_id).tolist()),
+                served=tuple(self.document_loads(doc_id).tolist()),
+            )
+            for doc_id in self.doc_ids
+        ]
+
+    def restore(self, records: Sequence[DocumentRecord], tick: int) -> None:
+        """Replace the whole catalog with ``records`` (shard merge-back)."""
+        self._groups.clear()
+        self._doc_home.clear()
+        self._doc_cohort.clear()
+        self.publish_many(
+            [(r.doc_id, r.home, r.rates, r.served) for r in records]
+        )
+        self._tick = tick
+
+    def run(
+        self,
+        ticks: int,
+        events: Sequence[ClusterEvent] = (),
+        *,
+        workers: Optional[int] = None,
+        snapshot_every: int = 1,
+    ) -> ClusterMetrics:
+        """Advance ``ticks`` rounds, applying ``events`` at their ticks.
+
+        Events fire just before the round they are scheduled at (an event
+        at the current tick index fires before the next round).  With
+        ``workers > 1``, homes are partitioned across processes and the
+        merged metrics - and the runtime's final state - are identical to
+        the inline run up to floating-point summation order.
+        """
+        if ticks < 0:
+            raise ClusterError("ticks must be >= 0")
+        if snapshot_every < 1:
+            raise ClusterError("snapshot_every must be >= 1")
+        pending = sorted(events, key=lambda e: e.tick)
+        for event in pending:
+            if event.tick < self._tick or event.tick >= self._tick + ticks:
+                raise ClusterError(
+                    f"event at tick {event.tick} outside run window "
+                    f"[{self._tick}, {self._tick + ticks})"
+                )
+        if workers is not None and workers > 1:
+            from .sharding import run_sharded
+
+            return run_sharded(
+                self, ticks, pending, workers=workers, snapshot_every=snapshot_every
+            )
+        metrics = ClusterMetrics()
+        self.drive(
+            ticks,
+            pending,
+            snapshot_every,
+            lambda runtime: metrics.append(runtime.snapshot()),
+        )
+        return metrics
+
+    def drive(
+        self,
+        ticks: int,
+        events: Sequence[ClusterEvent],
+        snapshot_every: int,
+        collect: Callable[["ClusterRuntime"], None],
+    ) -> None:
+        """The one tick/event/snapshot loop both execution paths share.
+
+        Events fire just before the round after their tick; ``collect``
+        is called at every ``snapshot_every``-th tick and at the last one.
+        :meth:`run` drives it inline collecting snapshots; shard workers
+        (:func:`repro.cluster.sharding.run_shard`) drive it collecting
+        additive tick stats - keeping event-fire timing and snapshot
+        cadence identical by construction.
+        """
+        pending = sorted(events, key=lambda e: e.tick)
+        next_event = 0
+        last = self._tick + ticks
+        while self._tick < last:
+            while next_event < len(pending) and pending[next_event].tick == self._tick:
+                self.apply(pending[next_event])
+                next_event += 1
+            self.tick()
+            if self._tick % snapshot_every == 0 or self._tick == last:
+                collect(self)

@@ -1,0 +1,221 @@
+"""Process-sharded cluster execution: homes partitioned across workers.
+
+Documents rooted at different home servers never exchange load - their
+trees only share the node *names* - so a catalog partitions cleanly by
+home.  :func:`run_sharded` splits a runtime's homes across
+``multiprocessing`` workers, each worker rebuilds its slice of the catalog
+from dense :class:`~repro.cluster.runtime.DocumentRecord` state, runs the
+whole tick range locally (applying the lifecycle events routed to its
+homes), and ships back
+
+* one additive :class:`~repro.cluster.metrics.TickStats` per snapshot
+  tick, which the parent sums with
+  :func:`~repro.cluster.metrics.merge_tick_stats`, and
+* its final document records, which the parent merges back into the
+  calling runtime.
+
+Because stats are additive and documents independent, the merged metrics
+and final state are identical to the inline run up to floating-point
+summation order (pinned at 1e-9 in ``tests/cluster/test_runtime.py``).
+
+Everything crossing the process boundary is a plain picklable value
+(parent maps, rate tuples, events); the worker entry point
+:func:`run_shard` is module-level so both fork and spawn start methods
+work.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.tree import RoutingTree
+from .metrics import ClusterMetrics, TickStats, merge_tick_stats, snapshot_from_stats
+from .runtime import ClusterError, ClusterEvent, ClusterRuntime, DocumentRecord
+
+__all__ = ["ShardSpec", "ShardResult", "partition_homes", "run_shard", "run_sharded"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything one worker needs to run its slice of the catalog."""
+
+    parent_maps: Dict[int, Tuple[int, ...]]  # home -> RoutingTree parent map
+    records: Tuple[DocumentRecord, ...]
+    events: Tuple[ClusterEvent, ...]
+    start_tick: int
+    ticks: int
+    snapshot_every: int
+    alpha: Optional[float]
+    capacities: Optional[Tuple[float, ...]]
+    track_tlb: bool
+    tolerance: float
+    prune: bool
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """One worker's per-snapshot stats and final document states."""
+
+    stats: Tuple[TickStats, ...]
+    records: Tuple[DocumentRecord, ...]
+
+
+def partition_homes(
+    doc_counts: Dict[int, int], workers: int
+) -> List[List[int]]:
+    """Greedy balanced partition of homes by document count.
+
+    Homes are assigned largest-first to the least-loaded shard; empty
+    shards are dropped (fewer homes than workers).
+    """
+    shards: List[List[int]] = [[] for _ in range(max(workers, 1))]
+    weights = [0] * len(shards)
+    for home in sorted(doc_counts, key=lambda h: (-doc_counts[h], h)):
+        idx = weights.index(min(weights))
+        shards[idx].append(home)
+        weights[idx] += max(doc_counts[home], 1)
+    return [sorted(s) for s in shards if s]
+
+
+def run_shard(spec: ShardSpec) -> ShardResult:
+    """Worker entry point: rebuild, run, report (module-level, picklable)."""
+    trees = {h: RoutingTree(pm) for h, pm in spec.parent_maps.items()}
+    runtime = ClusterRuntime(
+        trees,
+        alpha=spec.alpha,
+        capacities=spec.capacities,
+        track_tlb=spec.track_tlb,
+        tolerance=spec.tolerance,
+        prune=spec.prune,
+    )
+    for home in sorted(trees):
+        runtime._group(home)  # fixes the node-universe size up front
+    runtime.restore(spec.records, spec.start_tick)
+    stats: List[TickStats] = []
+    runtime.drive(
+        spec.ticks,
+        spec.events,
+        spec.snapshot_every,
+        lambda rt: stats.append(rt.tick_stats()),
+    )
+    return ShardResult(
+        stats=tuple(stats), records=tuple(runtime.document_records())
+    )
+
+
+def _route_events(
+    events: Sequence[ClusterEvent],
+    doc_home: Dict[str, int],
+    shard_of_home: Dict[int, int],
+    shard_count: int,
+) -> List[List[ClusterEvent]]:
+    """Assign each event to the shard owning its home.
+
+    Publish events carry their home; retire/set_rates route via the
+    document's home, tracked through the event sequence (a document may be
+    published and retired by events of the same run).  Catalog-wide scale
+    events broadcast to every shard.
+    """
+    routed: List[List[ClusterEvent]] = [[] for _ in range(shard_count)]
+    homes = dict(doc_home)
+    for event in sorted(events, key=lambda e: e.tick):
+        if event.action == "scale" and event.doc_id is None:
+            for shard in routed:
+                shard.append(event)
+            continue
+        if event.action == "publish":
+            home = event.home
+            homes[event.doc_id] = home
+        else:
+            try:
+                home = homes[event.doc_id]
+            except KeyError:
+                raise ClusterError(
+                    f"event for unknown document {event.doc_id!r}"
+                ) from None
+            if event.action == "retire":
+                del homes[event.doc_id]
+        try:
+            routed[shard_of_home[home]].append(event)
+        except KeyError:
+            raise ClusterError(
+                f"no shard owns home {home} (publish targets must be "
+                "homes the runtime already knows)"
+            ) from None
+    return routed
+
+
+def run_sharded(
+    runtime: ClusterRuntime,
+    ticks: int,
+    events: Sequence[ClusterEvent],
+    *,
+    workers: int,
+    snapshot_every: int = 1,
+) -> ClusterMetrics:
+    """Run ``ticks`` rounds of ``runtime`` across worker processes.
+
+    The calling runtime is left in the merged final state, exactly as if
+    :meth:`~repro.cluster.runtime.ClusterRuntime.run` had run inline.
+    """
+    records = runtime.document_records()
+    doc_counts: Dict[int, int] = {}
+    for home in runtime.homes:
+        doc_counts[home] = 0
+    doc_home: Dict[str, int] = {}
+    for record in records:
+        doc_counts[record.home] = doc_counts.get(record.home, 0) + 1
+        doc_home[record.doc_id] = record.home
+    for event in events:
+        if event.action == "publish":
+            doc_counts.setdefault(event.home, 0)
+    if not doc_counts:
+        raise ClusterError("nothing to run: the catalog is empty")
+    shards = partition_homes(doc_counts, workers)
+    shard_of_home = {
+        home: idx for idx, homes in enumerate(shards) for home in homes
+    }
+    routed = _route_events(events, doc_home, shard_of_home, len(shards))
+    shard_home_sets = [set(homes) for homes in shards]
+    specs = [
+        ShardSpec(
+            parent_maps={
+                h: runtime._groups[h].tree.parent_map
+                if h in runtime._groups
+                else runtime._tree_source(h).parent_map
+                for h in homes
+            },
+            records=tuple(
+                r for r in records if r.home in shard_home_sets[idx]
+            ),
+            events=tuple(routed[idx]),
+            start_tick=runtime.tick_count,
+            ticks=ticks,
+            snapshot_every=snapshot_every,
+            alpha=runtime._alpha,
+            capacities=None
+            if runtime._capacities is None
+            else tuple(runtime._capacities.tolist()),
+            track_tlb=runtime._track_tlb,
+            tolerance=runtime._tolerance,
+            prune=runtime._prune,
+        )
+        for idx, homes in enumerate(shards)
+    ]
+    if len(specs) == 1:
+        results = [run_shard(specs[0])]
+    else:
+        with multiprocessing.Pool(processes=len(specs)) as pool:
+            results = pool.map(run_shard, specs)
+    metrics = ClusterMetrics()
+    for per_tick in zip(*(r.stats for r in results)):
+        metrics.append(
+            snapshot_from_stats(merge_tick_stats(per_tick), runtime._capacities)
+        )
+    merged: List[DocumentRecord] = []
+    for result in results:
+        merged.extend(result.records)
+    runtime.restore(sorted(merged, key=lambda r: r.doc_id), runtime.tick_count + ticks)
+    return metrics

@@ -168,12 +168,14 @@ def subtree_accumulate(flat: FlatTree, values: np.ndarray) -> np.ndarray:
 
     One ``np.add.at`` scatter per level, deepest first: every node's
     accumulated value is folded into its parent before the parent's level
-    is processed.
+    is processed.  ``values`` may carry leading batch axes (e.g. a
+    ``(D, n)`` document stack - see :mod:`repro.cluster.batch`); the
+    accumulation runs along the last axis for every row at once.
     """
     acc = np.array(values, dtype=np.float64, copy=True)
     parent = flat.parent
     for level in flat.levels:
-        np.add.at(acc, parent[level], acc[level])
+        np.add.at(acc, (Ellipsis, parent[level]), acc[..., level])
     return acc
 
 
@@ -184,6 +186,7 @@ def forwarded_rates(
 
     Flow conservation makes ``A_i`` the subtree sum of ``E - L``; a
     negative value flags an infeasible assignment (NSS violated).
+    Accepts leading batch axes like :func:`subtree_accumulate`.
     """
     return subtree_accumulate(flat, spontaneous - served)
 
@@ -196,16 +199,18 @@ def resettle_served(
     The vectorized counterpart of :func:`repro.core.dynamics.resettle`:
     one bottom-up pass where every non-root node keeps
     ``min(served, arriving)`` and forwards the rest, and the home server
-    absorbs whatever reaches it (Constraint 1).
+    absorbs whatever reaches it (Constraint 1).  Accepts leading batch
+    axes like :func:`subtree_accumulate`; each row's mass ends up exactly
+    its row's total rate.
     """
     arriving = np.array(rates, dtype=np.float64, copy=True)
-    loads = np.zeros(flat.n, dtype=np.float64)
+    loads = np.zeros_like(arriving)
     parent = flat.parent
     for level in flat.levels:
-        kept = np.minimum(served[level], arriving[level])
-        loads[level] = kept
-        np.add.at(arriving, parent[level], arriving[level] - kept)
-    loads[flat.root] = arriving[flat.root]
+        kept = np.minimum(served[..., level], arriving[..., level])
+        loads[..., level] = kept
+        np.add.at(arriving, (Ellipsis, parent[level]), arriving[..., level] - kept)
+    loads[..., flat.root] = arriving[..., flat.root]
     return loads
 
 

@@ -1,0 +1,207 @@
+"""Cluster-plane scalability: batched catalog ticks vs per-document engines.
+
+The north-star workload is a *catalog*: thousands of Zipf-ranked documents
+diffusing simultaneously over one tree (ROADMAP).  This experiment
+measures what the :mod:`repro.cluster` plane buys over the PR 1 status quo
+- one :class:`~repro.core.kernel.SyncEngine` per document, stepped in a
+Python loop:
+
+* **throughput** - document-rounds/second of one cluster tick (every
+  cohort's :class:`~repro.cluster.batch.BatchEngine` advancing its whole
+  document stack one round) against the per-document loop on the same
+  catalog;
+* **where the win comes from** - the cohort count and the mean
+  demand-closure size show how much work NSS localization prunes away
+  (see :mod:`repro.cluster.prune`) on population-structured demand;
+* **fidelity** - the max absolute trajectory deviation between the
+  batched and per-document runs over ``parity_ticks`` rounds, which the
+  cluster tests pin at 1e-12 (measured here as evidence, not proof).
+
+Rows land in ``benchmarks/BENCH_cluster.json`` (schema ``bench-cluster/v1``)
+via ``benchmarks/test_bench_cluster.py``, the cluster counterpart of the
+kernel's ``BENCH_kernels.json`` trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.tables import format_table
+from ..cluster.runtime import ClusterRuntime
+from ..cluster.scenarios import population_workload, workload_rate_matrix
+from ..core.kernel import SyncEngine, degree_edge_alphas, flatten
+from ..core.tree import kary_tree
+
+__all__ = [
+    "ClusterScalabilityRow",
+    "ClusterScalabilityResult",
+    "run_cluster_scalability",
+]
+
+
+@dataclass(frozen=True)
+class ClusterScalabilityRow:
+    """One catalog size's batched-vs-sequential measurement."""
+
+    documents: int
+    nodes: int
+    populations: int
+    cohorts: int
+    mean_active_nodes: float
+    batch_tick_ms: float
+    batch_doc_rounds_per_sec: float
+    sequential_doc_rounds_per_sec: float
+    speedup: float
+    parity_max_abs_err: float
+
+
+@dataclass(frozen=True)
+class ClusterScalabilityResult:
+    """Rows per catalog size, reportable and JSON-recordable."""
+
+    rows: Tuple[ClusterScalabilityRow, ...]
+
+    def report(self) -> str:
+        return format_table(
+            [
+                "docs",
+                "nodes",
+                "pops",
+                "cohorts",
+                "active n",
+                "tick ms",
+                "batch doc-rounds/s",
+                "seq doc-rounds/s",
+                "speedup",
+                "parity err",
+            ],
+            [
+                [
+                    r.documents,
+                    r.nodes,
+                    r.populations,
+                    r.cohorts,
+                    round(r.mean_active_nodes, 1),
+                    round(r.batch_tick_ms, 3),
+                    round(r.batch_doc_rounds_per_sec, 1),
+                    round(r.sequential_doc_rounds_per_sec, 1),
+                    round(r.speedup, 1),
+                    f"{r.parity_max_abs_err:.1e}",
+                ]
+                for r in self.rows
+            ],
+            precision=2,
+            title="Cluster plane: batched catalog ticks vs per-document SyncEngine",
+        )
+
+    def as_json(self) -> Dict[str, Dict[str, float]]:
+        """``{"d<docs>_n<nodes>": row}`` entries for BENCH_cluster.json."""
+        return {f"d{r.documents}_n{r.nodes}": asdict(r) for r in self.rows}
+
+
+def _build_catalog(documents, height, populations, total_rate, zipf_s):
+    tree = kary_tree(2, height)
+    workload, _ = population_workload(
+        tree, documents, populations, total_rate, zipf_s
+    )
+    doc_ids, matrix = workload_rate_matrix(workload)
+    return tree, doc_ids, matrix
+
+
+def _publish_all(runtime, doc_ids, matrix, home):
+    runtime.publish_many(
+        [(doc_id, home, matrix[row]) for row, doc_id in enumerate(doc_ids)]
+    )
+
+
+def run_cluster_scalability(
+    catalog_sizes: Sequence[int] = (100, 1000),
+    height: int = 9,
+    populations: int = 10,
+    total_rate: float = 1000.0,
+    zipf_s: float = 1.0,
+    timed_ticks: int = 100,
+    sequential_ticks: int = 3,
+    parity_ticks: int = 20,
+) -> ClusterScalabilityResult:
+    """Measure catalog tick throughput per catalog size.
+
+    The default geometry is the acceptance configuration: a complete
+    binary tree of height 9 (n = 1023 servers) under Zipf demand from
+    ``populations`` client populations.  The sequential baseline steps one
+    full-tree :class:`SyncEngine` per document - exactly what the repo
+    offered before the cluster plane existed.
+    """
+    rows: List[ClusterScalabilityRow] = []
+    for documents in catalog_sizes:
+        tree, doc_ids, matrix = _build_catalog(
+            documents, height, populations, total_rate, zipf_s
+        )
+        home = tree.root
+        flat = flatten(tree)
+        alphas = degree_edge_alphas(flat)
+
+        # --- batched: time whole-catalog ticks -------------------------
+        runtime = ClusterRuntime({home: tree})
+        _publish_all(runtime, doc_ids, matrix, home)
+        active = 0
+        for group in runtime._groups.values():
+            for cohort in group.cohorts.values():
+                active += cohort.engine.docs * cohort.pruned.n
+        for _ in range(3):
+            runtime.tick()  # warmup
+        start = time.perf_counter()
+        for _ in range(timed_ticks):
+            runtime.tick()
+        batch_tick_s = (time.perf_counter() - start) / timed_ticks
+
+        # --- sequential: one SyncEngine per document -------------------
+        engines = [
+            SyncEngine(flat, matrix[d], matrix[d], alphas)
+            for d in range(documents)
+        ]
+        for engine in engines:
+            engine.step()  # warmup
+        start = time.perf_counter()
+        for _ in range(sequential_ticks):
+            for engine in engines:
+                engine.step()
+        seq_tick_s = (time.perf_counter() - start) / sequential_ticks
+
+        # --- parity: fresh runs, compare dense trajectories ------------
+        runtime = ClusterRuntime({home: tree})
+        _publish_all(runtime, doc_ids, matrix, home)
+        engines = [
+            SyncEngine(flat, matrix[d], matrix[d], alphas)
+            for d in range(documents)
+        ]
+        for _ in range(parity_ticks):
+            runtime.tick()
+            for engine in engines:
+                engine.step()
+        parity = max(
+            float(
+                np.abs(runtime.document_loads(doc_id) - engines[d].loads).max()
+            )
+            for d, doc_id in enumerate(doc_ids)
+        )
+
+        rows.append(
+            ClusterScalabilityRow(
+                documents=documents,
+                nodes=tree.n,
+                populations=populations,
+                cohorts=runtime.cohort_count,
+                mean_active_nodes=active / documents,
+                batch_tick_ms=batch_tick_s * 1000.0,
+                batch_doc_rounds_per_sec=documents / batch_tick_s,
+                sequential_doc_rounds_per_sec=documents / seq_tick_s,
+                speedup=seq_tick_s / batch_tick_s,
+                parity_max_abs_err=parity,
+            )
+        )
+    return ClusterScalabilityResult(rows=tuple(rows))

@@ -12,6 +12,7 @@ import sys
 from typing import Callable, Dict, List, Tuple
 
 from .ablation import run_alpha_ablation, run_delay_ablation
+from .cluster_scalability import run_cluster_scalability
 from .diffusion_theory import run_diffusion_theory
 from .extensions import (
     run_async_study,
@@ -29,7 +30,7 @@ from .overhead import run_overhead
 from .scalability import run_rate_scalability, run_scalability
 from .tunneling import run_tunneling_study
 
-__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+__all__ = ["EXPERIMENTS", "run_experiment", "registry_listing", "main"]
 
 # id -> (description, zero-arg callable returning an object with .report())
 EXPERIMENTS: Dict[str, Tuple[str, Callable[[], object]]] = {
@@ -42,6 +43,10 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[], object]]] = {
     "rate-scalability": (
         "Kernel throughput: vectorized Figure 5 round vs the seed loop",
         run_rate_scalability,
+    ),
+    "cluster-scalability": (
+        "Cluster plane: batched catalog ticks vs per-document engines",
+        run_cluster_scalability,
     ),
     "diffusion": ("E-X2: spectral vs measured diffusion convergence", run_diffusion_theory),
     "alpha": ("E-X3: diffusion-parameter sweep", run_alpha_ablation),
@@ -66,6 +71,15 @@ def run_experiment(exp_id: str) -> object:
     return fn()
 
 
+def registry_listing() -> str:
+    """Every registered experiment id with its one-line description."""
+    width = max(len(k) for k in EXPERIMENTS)
+    return "\n".join(
+        f"{exp_id.ljust(width)}  {description}"
+        for exp_id, (description, _) in sorted(EXPERIMENTS.items())
+    )
+
+
 def main(argv: List[str] | None = None) -> int:
     """CLI entry point (installed as ``webwave-experiments``)."""
     parser = argparse.ArgumentParser(
@@ -75,24 +89,32 @@ def main(argv: List[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list all experiment ids")
     run_parser = sub.add_parser("run", help="run one or more experiments")
-    run_parser.add_argument("ids", nargs="+", help="experiment ids (or 'all')")
+    run_parser.add_argument("ids", nargs="*", help="experiment ids (or 'all')")
     args = parser.parse_args(argv)
 
     if args.command == "list":
-        width = max(len(k) for k in EXPERIMENTS)
-        for exp_id, (description, _) in sorted(EXPERIMENTS.items()):
-            print(f"{exp_id.ljust(width)}  {description}")
+        print(registry_listing())
         return 0
+
+    if not args.ids:
+        print(
+            "no experiment id given; registered experiments:\n" + registry_listing(),
+            file=sys.stderr,
+        )
+        return 2
 
     ids = sorted(EXPERIMENTS) if args.ids == ["all"] else args.ids
     status = 0
     for exp_id in ids:
-        try:
-            result = run_experiment(exp_id)
-        except KeyError as exc:
-            print(exc, file=sys.stderr)
+        if exp_id not in EXPERIMENTS:
+            print(
+                f"unknown experiment {exp_id!r}; registered experiments:\n"
+                + registry_listing(),
+                file=sys.stderr,
+            )
             status = 2
             continue
+        result = run_experiment(exp_id)
         print(f"\n=== {exp_id}: {EXPERIMENTS[exp_id][0]} ===\n")
         print(result.report())
     return status

@@ -1,0 +1,326 @@
+"""ClusterRuntime: grouping, lifecycle, snapshots, and sharded execution."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cluster.metrics import merge_tick_stats
+from repro.cluster.runtime import (
+    ClusterError,
+    ClusterEvent,
+    ClusterRuntime,
+    DocumentRecord,
+)
+from repro.cluster.scenarios import rerooted_trees
+from repro.core.kernel import SyncEngine, degree_edge_alphas, flatten
+from repro.core.tree import kary_tree
+
+
+def _leaf_rates(tree, leaves_rates):
+    rates = [0.0] * tree.n
+    for leaf, rate in leaves_rates:
+        rates[leaf] = rate
+    return rates
+
+
+@pytest.fixture
+def tree():
+    return kary_tree(2, 4)  # n = 31
+
+
+class TestLifecycle:
+    def test_publish_and_grouping_by_closure(self, tree):
+        runtime = ClusterRuntime({0: tree})
+        leaves = tree.leaves()
+        runtime.publish("a", 0, _leaf_rates(tree, [(leaves[0], 5.0)]))
+        runtime.publish("b", 0, _leaf_rates(tree, [(leaves[0], 2.0)]))
+        runtime.publish("c", 0, _leaf_rates(tree, [(leaves[-1], 3.0)]))
+        assert runtime.documents == 3
+        # a and b share a demand closure -> one cohort; c gets its own
+        assert runtime.cohort_count == 2
+        assert runtime.total_rate() == pytest.approx(10.0)
+        assert runtime.total_mass() == pytest.approx(10.0)
+
+    def test_duplicate_and_unknown_docs(self, tree):
+        runtime = ClusterRuntime({0: tree})
+        runtime.publish("a", 0, _leaf_rates(tree, [(15, 1.0)]))
+        with pytest.raises(ClusterError, match="duplicate"):
+            runtime.publish("a", 0, _leaf_rates(tree, [(15, 1.0)]))
+        with pytest.raises(ClusterError, match="unknown"):
+            runtime.retire("nope")
+
+    def test_retire_returns_mass(self, tree):
+        runtime = ClusterRuntime({0: tree})
+        runtime.publish("a", 0, _leaf_rates(tree, [(15, 4.0), (16, 2.0)]))
+        runtime.publish("b", 0, _leaf_rates(tree, [(15, 1.0)]))
+        for _ in range(10):
+            runtime.tick()
+        assert runtime.retire("a") == pytest.approx(6.0, abs=1e-9)
+        assert runtime.documents == 1
+        assert runtime.total_mass() == pytest.approx(1.0, abs=1e-9)
+
+    def test_set_rates_mass_conserving_same_closure(self, tree):
+        runtime = ClusterRuntime({0: tree})
+        runtime.publish("a", 0, _leaf_rates(tree, [(15, 8.0)]))
+        runtime.run(12)
+        runtime.set_rates("a", _leaf_rates(tree, [(15, 3.0)]))
+        assert runtime.total_mass() == pytest.approx(3.0, abs=1e-9)
+        assert runtime.cohort_count == 1
+
+    def test_set_rates_closure_change_moves_cohort(self, tree):
+        runtime = ClusterRuntime({0: tree})
+        leaves = tree.leaves()
+        runtime.publish("a", 0, _leaf_rates(tree, [(leaves[0], 8.0)]))
+        runtime.run(12)
+        new_rates = _leaf_rates(tree, [(leaves[-1], 5.0)])
+        runtime.set_rates("a", new_rates)
+        # all mass now sits on the new closure and equals the new rate
+        assert runtime.total_mass() == pytest.approx(5.0, abs=1e-9)
+        loads = runtime.document_loads("a")
+        closure = set(tree.path_to_root(leaves[-1]))
+        assert all(
+            loads[i] == 0.0 for i in range(tree.n) if i not in closure
+        )
+
+    def test_publish_many_equals_sequential_publishes(self, tree):
+        rng = random.Random(9)
+        leaves = list(tree.leaves())
+        docs = []
+        for k in range(14):
+            origins = rng.sample(leaves, 3)
+            docs.append(
+                (
+                    f"d{k:02d}",
+                    0,
+                    tuple(
+                        _leaf_rates(
+                            tree,
+                            [(leaf, rng.uniform(1.0, 9.0)) for leaf in origins],
+                        )
+                    ),
+                )
+            )
+        bulk = ClusterRuntime({0: tree}, track_tlb=True)
+        bulk.publish_many(docs)
+        one_by_one = ClusterRuntime({0: tree}, track_tlb=True)
+        for doc_id, home, rates in docs:
+            one_by_one.publish(doc_id, home, rates)
+        assert bulk.cohort_count == one_by_one.cohort_count
+        bulk.run(20)
+        one_by_one.run(20)
+        for doc_id, _, _ in docs:
+            assert np.array_equal(
+                bulk.document_loads(doc_id), one_by_one.document_loads(doc_id)
+            )
+        assert bulk.snapshot() == one_by_one.snapshot()
+
+    def test_publish_many_rejects_duplicates_in_batch(self, tree):
+        runtime = ClusterRuntime({0: tree})
+        rates = tuple(_leaf_rates(tree, [(15, 1.0)]))
+        with pytest.raises(ClusterError, match="duplicate"):
+            runtime.publish_many([("a", 0, rates), ("a", 0, rates)])
+
+    def test_publish_served_outside_closure_is_resettled(self, tree):
+        """Explicit served mass off the demand closure flows home, not away."""
+        runtime = ClusterRuntime({0: tree})
+        leaves = tree.leaves()
+        rates = _leaf_rates(tree, [(leaves[0], 1.0)])
+        served = _leaf_rates(tree, [(leaves[-1], 1.0)])  # disjoint support
+        runtime.publish("a", 0, rates, served=served)
+        # nothing silently dropped: mass equals offered rate, absorbed at
+        # the home (the only node on both root paths)
+        assert runtime.total_mass() == pytest.approx(1.0, abs=1e-12)
+        loads = runtime.document_loads("a")
+        assert loads[tree.root] == pytest.approx(1.0, abs=1e-12)
+
+    def test_publish_served_roundtrip_is_exact(self, tree):
+        """In-system served states restore bit-for-bit (no spurious resettle)."""
+        runtime = ClusterRuntime({0: tree})
+        runtime.publish("a", 0, _leaf_rates(tree, [(15, 5.0), (30, 2.0)]))
+        runtime.run(7)
+        record = runtime.document_records()[0]
+        other = ClusterRuntime({0: tree})
+        other.publish("a", 0, record.rates, served=record.served)
+        assert np.array_equal(
+            other.document_loads("a"), runtime.document_loads("a")
+        )
+
+    def test_scale_rates_whole_catalog(self, tree):
+        runtime = ClusterRuntime({0: tree}, track_tlb=True)
+        runtime.publish("a", 0, _leaf_rates(tree, [(15, 4.0)]))
+        runtime.publish("b", 0, _leaf_rates(tree, [(30, 6.0)]))
+        runtime.run(8)
+        runtime.scale_rates(1.5)
+        assert runtime.total_rate() == pytest.approx(15.0, abs=1e-9)
+        assert runtime.total_mass() == pytest.approx(15.0, abs=1e-9)
+
+    def test_multi_home_catalog(self, tree):
+        trees = rerooted_trees(tree, [0, 7])
+        runtime = ClusterRuntime(trees)
+        runtime.publish("a", 0, _leaf_rates(tree, [(20, 3.0)]))
+        runtime.publish("b", 7, _leaf_rates(tree, [(20, 2.0)]))
+        assert runtime.homes == (0, 7)
+        runtime.run(5)
+        assert runtime.total_mass() == pytest.approx(5.0, abs=1e-9)
+
+    def test_mismatched_tree_size_rejected(self, tree):
+        runtime = ClusterRuntime({0: tree, 1: kary_tree(2, 3)})
+        runtime.publish("a", 0, [1.0] * tree.n)
+        with pytest.raises(ClusterError, match="nodes"):
+            runtime.publish("b", 1, [1.0] * tree.n)
+
+
+class TestTrajectoryFidelity:
+    def test_runtime_matches_per_document_engines(self, tree):
+        """Full-stack parity: pruned cohorts vs plain SyncEngines, 1e-12."""
+        runtime = ClusterRuntime({0: tree})
+        flat = flatten(tree)
+        alphas = degree_edge_alphas(flat)
+        rng = random.Random(5)
+        engines = {}
+        for k in range(12):
+            origins = rng.sample(list(tree.leaves()), 3)
+            rates = _leaf_rates(
+                tree, [(leaf, rng.uniform(1.0, 20.0)) for leaf in origins]
+            )
+            doc = f"d{k}"
+            runtime.publish(doc, 0, rates)
+            engines[doc] = SyncEngine(flat, rates, rates, alphas)
+        for _ in range(100):
+            runtime.tick()
+            for engine in engines.values():
+                engine.step()
+        for doc, engine in engines.items():
+            dense = runtime.document_loads(doc)
+            assert np.abs(dense - engine.loads).max() < 1e-12
+
+
+class TestSnapshotsAndRuns:
+    def test_snapshot_fields(self, tree):
+        capacities = [2.0] * tree.n
+        runtime = ClusterRuntime({0: tree}, capacities=capacities, track_tlb=True)
+        runtime.publish("a", 0, _leaf_rates(tree, [(15, 10.0)]))
+        runtime.run(5)
+        snap = runtime.snapshot()
+        assert snap.tick == 5
+        assert snap.documents == 1
+        assert snap.mass == pytest.approx(10.0, abs=1e-9)
+        assert snap.max_utilization == pytest.approx(snap.max_load / 2.0)
+        assert snap.tlb_gap is not None and snap.tlb_gap > 0.0
+        assert 0.0 <= snap.converged_fraction <= 1.0
+        assert 0.0 < snap.fairness <= 1.0
+
+    def test_run_applies_events_and_snapshots(self, tree):
+        runtime = ClusterRuntime({0: tree})
+        runtime.publish("a", 0, _leaf_rates(tree, [(15, 5.0)]))
+        events = [
+            ClusterEvent(
+                tick=2,
+                action="publish",
+                doc_id="b",
+                home=0,
+                rates=tuple(_leaf_rates(tree, [(30, 3.0)])),
+            ),
+            ClusterEvent(tick=4, action="retire", doc_id="a"),
+        ]
+        metrics = runtime.run(6, events, snapshot_every=2)
+        assert [s.tick for s in metrics] == [2, 4, 6]
+        # events fire just before the round *after* their tick: the tick-2
+        # snapshot precedes the publish, the tick-4 one precedes the retire
+        assert [s.documents for s in metrics] == [1, 2, 1]
+        assert metrics.final.mass == pytest.approx(3.0, abs=1e-9)
+
+    def test_event_outside_window_rejected(self, tree):
+        runtime = ClusterRuntime({0: tree})
+        runtime.publish("a", 0, _leaf_rates(tree, [(15, 5.0)]))
+        with pytest.raises(ClusterError, match="window"):
+            runtime.run(3, [ClusterEvent(tick=7, action="retire", doc_id="a")])
+
+    def test_records_restore_roundtrip(self, tree):
+        runtime = ClusterRuntime({0: tree})
+        runtime.publish("a", 0, _leaf_rates(tree, [(15, 5.0)]))
+        runtime.run(9)
+        records = runtime.document_records()
+        other = ClusterRuntime({0: tree})
+        other.restore(records, runtime.tick_count)
+        assert other.tick_count == 9
+        assert np.array_equal(
+            other.document_loads("a"), runtime.document_loads("a")
+        )
+
+
+class TestSharding:
+    def _build(self, trees, tree):
+        runtime = ClusterRuntime(trees, track_tlb=True)
+        rng = random.Random(2)
+        leaves = list(tree.leaves())
+        for k in range(18):
+            home = [0, 5, 9][k % 3]
+            origins = rng.sample(leaves, 4)
+            rates = _leaf_rates(
+                tree, [(leaf, rng.uniform(1.0, 9.0)) for leaf in origins]
+            )
+            runtime.publish(f"d{k:02d}", home, rates)
+        return runtime
+
+    def test_sharded_equals_inline(self, tree):
+        trees = rerooted_trees(tree, [0, 5, 9])
+        events = [
+            ClusterEvent(tick=3, action="retire", doc_id="d04"),
+            ClusterEvent(
+                tick=5,
+                action="publish",
+                doc_id="fresh",
+                home=5,
+                rates=tuple(_leaf_rates(tree, [(29, 2.5)])),
+            ),
+            ClusterEvent(tick=8, action="scale", factor=1.25),
+        ]
+        inline = self._build(trees, tree)
+        inline_metrics = inline.run(12, events)
+        sharded = self._build(trees, tree)
+        sharded_metrics = sharded.run(12, list(events), workers=3)
+
+        assert len(inline_metrics) == len(sharded_metrics)
+        for a, b in zip(inline_metrics, sharded_metrics):
+            assert a.tick == b.tick
+            assert a.documents == b.documents
+            assert a.mass == pytest.approx(b.mass, abs=1e-9)
+            assert a.max_load == pytest.approx(b.max_load, abs=1e-9)
+            assert a.tlb_gap == pytest.approx(b.tlb_gap, abs=1e-9)
+        assert sharded.tick_count == inline.tick_count == 12
+        for doc in inline.doc_ids:
+            assert np.allclose(
+                inline.document_loads(doc),
+                sharded.document_loads(doc),
+                atol=1e-9,
+            )
+        # both runtimes keep running after the merge-back
+        sharded.tick()
+        assert sharded.tick_count == 13
+
+    def test_merge_tick_stats_rejects_mixed_ticks(self, tree):
+        runtime = ClusterRuntime({0: tree})
+        runtime.publish("a", 0, _leaf_rates(tree, [(15, 1.0)]))
+        s1 = runtime.tick_stats()
+        runtime.tick()
+        s2 = runtime.tick_stats()
+        with pytest.raises(ValueError, match="different ticks"):
+            merge_tick_stats([s1, s2])
+
+
+class TestEventValidation:
+    def test_bad_events(self):
+        with pytest.raises(ClusterError, match="unknown event"):
+            ClusterEvent(tick=0, action="explode")
+        with pytest.raises(ClusterError, match="publish"):
+            ClusterEvent(tick=0, action="publish", doc_id="a")
+        with pytest.raises(ClusterError, match="set_rates"):
+            ClusterEvent(tick=0, action="set_rates", doc_id="a")
+        with pytest.raises(ClusterError, match="retire"):
+            ClusterEvent(tick=0, action="retire")
+        with pytest.raises(ClusterError, match="scale"):
+            ClusterEvent(tick=0, action="scale")

@@ -112,6 +112,20 @@ class TestZipfWeights:
         with pytest.raises(ValueError):
             zipf_weights(3, -1.0)
 
+    def test_vectorized_matches_reference_loop(self):
+        """The NumPy path equals the seed's pure-Python 1/k**s loop."""
+        for n, s in [(1, 1.0), (7, 0.6), (100, 1.5), (1000, 0.0)]:
+            raw = [1.0 / (k**s) for k in range(1, n + 1)]
+            total = sum(raw)
+            expected = [w / total for w in raw]
+            assert zipf_weights(n, s) == pytest.approx(expected, rel=1e-12)
+
+    def test_large_catalog_is_fast_enough(self):
+        # 10^5-document catalogs are a cluster-scale hot path
+        weights = zipf_weights(100_000, 0.9)
+        assert len(weights) == 100_000
+        assert sum(weights) == pytest.approx(1.0)
+
 
 class TestZipfPopularity:
     def test_weight_lookup(self):
@@ -126,6 +140,10 @@ class TestZipfPopularity:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             ZipfPopularity(())
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            ZipfPopularity(("a", "a", "b"))
 
     def test_split_rate(self):
         pop = ZipfPopularity(("a", "b"), s=0.0)

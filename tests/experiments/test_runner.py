@@ -15,6 +15,8 @@ class TestRegistry:
     def test_extensions_present(self):
         for exp_id in (
             "scalability",
+            "rate-scalability",
+            "cluster-scalability",
             "diffusion",
             "alpha",
             "delay",
@@ -49,3 +51,18 @@ class TestCli:
 
     def test_run_unknown_sets_status(self, capsys):
         assert main(["run", "bogus"]) == 2
+
+    def test_run_unknown_lists_registry(self, capsys):
+        assert main(["run", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment 'bogus'" in err
+        # every registered id is listed with its description
+        for exp_id, (description, _) in EXPERIMENTS.items():
+            assert exp_id in err
+            assert description in err
+
+    def test_run_without_ids_lists_registry(self, capsys):
+        assert main(["run"]) == 2
+        err = capsys.readouterr().err
+        assert "no experiment id given" in err
+        assert "cluster-scalability" in err
