@@ -22,6 +22,7 @@ import pytest
 REPORT_DIR = pathlib.Path(__file__).parent / "reports"
 BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_kernels.json"
 BENCH_CLUSTER_JSON = pathlib.Path(__file__).parent / "BENCH_cluster.json"
+BENCH_PACKET_JSON = pathlib.Path(__file__).parent / "BENCH_packet.json"
 
 
 @pytest.fixture
@@ -59,6 +60,12 @@ def bench_record():
 def cluster_record():
     """Merge one named entry into benchmarks/BENCH_cluster.json."""
     return _make_recorder(BENCH_CLUSTER_JSON, "bench-cluster/v1")
+
+
+@pytest.fixture
+def packet_record():
+    """Merge one named entry into benchmarks/BENCH_packet.json."""
+    return _make_recorder(BENCH_PACKET_JSON, "bench-packet/v1")
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -57,6 +57,7 @@ from ..core.kernel import (
     resettle_served,
     subtree_accumulate,
 )
+from ..core.policy import clip_edge_transfers
 
 __all__ = [
     "BatchEngine",
@@ -310,9 +311,7 @@ class BatchEngine:
         np.take(loads, ep, axis=1, out=t)
         np.subtract(t, lec, out=t)
         np.multiply(t, self._alpha, out=t)
-        np.negative(lec, out=self._lo)
-        np.maximum(fec, 0.0, out=self._hi)
-        np.clip(t, self._lo, self._hi, out=t)
+        clip_edge_transfers(t, lec, fec, self._lo, self._hi)
 
         # delta = child scatter - parent bincount, in SyncEngine's order.
         d1 = self._d1

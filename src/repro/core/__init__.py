@@ -8,6 +8,8 @@ This package contains everything Sections 2-5 of the paper define:
 * :mod:`repro.core.webfold` - the provably optimal offline folding algorithm;
 * :mod:`repro.core.pava` - an independent TLB solver used for cross-checks;
 * :mod:`repro.core.diffusion` - Cybenko-style diffusion on general graphs;
+* :mod:`repro.core.policy` - the Figure 5 decision arithmetic itself, in
+  every shape its consumers need (sync/clip/capacity/scalar/greedy);
 * :mod:`repro.core.kernel` - the vectorized array engine every rate-level
   simulator (webwave / weighted / forest / async / dynamics) delegates to;
 * :mod:`repro.core.webwave` - the distributed rate-level protocol (Figure 5);
@@ -69,6 +71,18 @@ from .kernel import (
     subtree_accumulate,
 )
 from .load import LoadAssignment, proportional_assignment, uniform_assignment
+from .policy import (
+    capacity_edge_transfers,
+    clip_edge_transfers,
+    diffusion_budget,
+    greedy_delegate,
+    greedy_pull,
+    greedy_shed,
+    push_down_amount,
+    shed_up_amount,
+    signed_gap_transfers,
+    sync_edge_transfers,
+)
 from .weighted import (
     WeightedFold,
     WeightedFoldResult,
@@ -135,6 +149,17 @@ __all__ = [
     "forwarded_rates",
     "subtree_accumulate",
     "reference_round",
+    # policy (the shared Figure 5 decision core)
+    "diffusion_budget",
+    "push_down_amount",
+    "shed_up_amount",
+    "sync_edge_transfers",
+    "clip_edge_transfers",
+    "capacity_edge_transfers",
+    "signed_gap_transfers",
+    "greedy_delegate",
+    "greedy_pull",
+    "greedy_shed",
     # webwave
     "WebWaveConfig",
     "WebWaveResult",

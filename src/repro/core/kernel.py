@@ -55,6 +55,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from . import policy
 from .tree import RoutingTree
 
 __all__ = [
@@ -267,11 +268,9 @@ def edge_alpha_map(
     }
 
 
-def _quantize(values: np.ndarray, quantum: float) -> np.ndarray:
-    """Round transfers down to multiples of ``quantum`` (0 = continuous)."""
-    if quantum <= 0.0:
-        return values
-    return np.floor(values / quantum) * quantum
+# Transfer quantization lives with the rest of the Figure 5 arithmetic in
+# repro.core.policy; kept under the old private name for callers' habits.
+_quantize = policy.quantize
 
 
 def _as_vector(values: Sequence[float], n: int, what: str) -> np.ndarray:
@@ -397,30 +396,27 @@ class SyncEngine:
                 if self._delay == 0
                 else self._history[min(self._delay, len(self._history) - 1)]
             )
-            # Parent side: push down, capped by NSS (the child's forwarded
-            # rate; clamped at zero because A can be transiently negative
-            # right after a demand drop - see repro.core.dynamics).
-            down = np.minimum(
-                np.maximum(fwd[ec], 0.0),
-                np.maximum(alpha * (loads[ep] - view[ec]), 0.0),
+            transfer = policy.sync_edge_transfers(
+                loads[ep],
+                loads[ec],
+                view[ep],
+                view[ec],
+                fwd[ec],
+                alpha,
+                quantum=self._quantum,
             )
-            # Child side: shed up, capped by what the child serves.
-            up = np.minimum(
-                loads[ec], np.maximum(alpha * (loads[ec] - view[ep]), 0.0)
-            )
-            transfer = _quantize(down, self._quantum) - _quantize(up, self._quantum)
         else:
             caps = self._caps
             util = loads / caps
-            gap = util[ep] - util[ec]
-            # The smaller endpoint capacity bounds the per-round utilization
-            # change at both endpoints by alpha * |gap|, which keeps the
-            # iteration stable for alpha <= 1/(deg+1).
-            c_edge = np.minimum(caps[ep], caps[ec])
-            scaled = alpha * gap * c_edge
-            down = np.where(gap > 0.0, np.minimum(fwd[ec], scaled), 0.0)
-            up = np.where(gap < 0.0, np.minimum(loads[ec], -scaled), 0.0)
-            transfer = down - up
+            transfer = policy.capacity_edge_transfers(
+                loads[ep],
+                loads[ec],
+                util[ep],
+                util[ec],
+                np.minimum(caps[ep], caps[ec]),
+                fwd[ec],
+                alpha,
+            )
 
         n = flat.n
         delta = np.bincount(ec, weights=transfer, minlength=n) - np.bincount(
@@ -504,16 +500,9 @@ class ForestEngine:
             loads = self._loads[home]
             fwd = self._fwd[home]
             alpha = self._alpha[home] * self._scale
-            gap = totals[ep] - totals[ec]
-            down = np.where(
-                gap > _EPS,
-                np.minimum(np.maximum(fwd[ec], 0.0), alpha * gap),
-                0.0,
+            transfers[home] = policy.signed_gap_transfers(
+                totals[ep] - totals[ec], loads[ec], fwd[ec], alpha, eps=_EPS
             )
-            up = np.where(
-                gap < -_EPS, np.minimum(loads[ec], alpha * (-gap)), 0.0
-            )
-            transfers[home] = down - up
         for home in self.homes:
             flat = self._flats[home]
             transfer = transfers[home]
@@ -617,7 +606,9 @@ class AsyncEngine:
         for child in flat.children_of(node).tolist():
             gap = my_load - self._stale_view(child)
             if gap > _EPS:
-                transfer = min(float(fwd[child]), float(alpha[child]) * gap)
+                transfer = policy.push_down_amount(
+                    float(fwd[child]), float(alpha[child]), gap
+                )
                 loads[node] -= transfer
                 loads[child] += transfer
                 fwd[child] -= transfer
@@ -626,7 +617,7 @@ class AsyncEngine:
         if parent != node:
             gap = my_load - self._stale_view(parent)
             if gap > _EPS:
-                shed = min(my_load, float(alpha[node]) * gap)
+                shed = policy.shed_up_amount(my_load, float(alpha[node]), gap)
                 loads[node] -= shed
                 loads[parent] += shed
                 fwd[node] += shed

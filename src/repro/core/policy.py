@@ -1,0 +1,270 @@
+"""The Figure 5 decision core, shared by every plane of the system.
+
+The paper defines exactly one diffusion update (Figure 5): a server compares
+its load against a neighbour's view and moves at most ``alpha * gap`` across
+the edge, capped by the NSS constraint (a parent can only relegate requests
+the child's subtree forwards) going down and by the mover's own load going
+up.  Before this module, that update lived in four places: the vectorized
+kernel engines (:mod:`repro.core.kernel`), the batched cluster engine
+(:mod:`repro.cluster.batch`), and a hand-rolled per-document copy inside the
+packet-level protocol (:mod:`repro.protocols.webwave`).
+
+This module is now the only owner of the arithmetic.  It exposes the update
+in the shapes its consumers need - all algebraically the same rule:
+
+* :func:`sync_edge_transfers` - the synchronous per-edge array form
+  (``down - up`` decomposition) used by :class:`~repro.core.kernel.SyncEngine`;
+* :func:`clip_edge_transfers` - the clip form
+  ``clip(alpha * (L_p - L_c), -L_c, max(A_c, 0))`` used by the batched
+  cluster engine, floating-point-identical to the ``down - up`` form because
+  exactly one side is non-zero;
+* :func:`capacity_edge_transfers` - the utilization-signal variant for
+  heterogeneous capacities (transfer scaled by the smaller endpoint);
+* :func:`signed_gap_transfers` - the epsilon-gated ``np.where`` form the
+  forest engine applies per overlay tree against *total* loads;
+* :func:`push_down_amount` / :func:`shed_up_amount` - the scalar
+  single-edge form for asynchronous activations;
+* :func:`diffusion_budget`, :func:`greedy_delegate`, :func:`greedy_pull`,
+  :func:`greedy_shed` - the packet-level realization, where the budget
+  ``alpha * gap`` is spent greedily across *measured per-document* rates
+  (hottest first) instead of one aggregate rate.
+
+Everything here is pure: no engine state, no simulator state.  The kernel
+parity goldens and the packet-plane goldens both pin that moving the
+arithmetic here changed no trajectory.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "quantize",
+    "diffusion_budget",
+    "push_down_amount",
+    "shed_up_amount",
+    "sync_edge_transfers",
+    "clip_edge_transfers",
+    "capacity_edge_transfers",
+    "signed_gap_transfers",
+    "greedy_delegate",
+    "greedy_pull",
+    "greedy_shed",
+]
+
+_EPS = 1e-9
+
+
+# ----------------------------------------------------------------------
+# Shared scalar pieces
+# ----------------------------------------------------------------------
+def quantize(values: np.ndarray, quantum: float) -> np.ndarray:
+    """Round transfers down to multiples of ``quantum`` (0 = continuous)."""
+    if quantum <= 0.0:
+        return values
+    return np.floor(values / quantum) * quantum
+
+
+def diffusion_budget(my_load: float, neighbour_view: float, alpha: float) -> float:
+    """The signed per-edge budget ``alpha * (L_i - L_view)`` of Figure 5.
+
+    Positive when this node is hotter than the (possibly stale) view of the
+    neighbour; the caller decides direction and caps.
+    """
+    return alpha * (my_load - neighbour_view)
+
+
+def push_down_amount(fwd_child: float, alpha: float, gap: float) -> float:
+    """Amount a hotter parent relegates down one edge (``gap > 0``).
+
+    Capped by the child's forwarded rate: the NSS constraint in scalar form,
+    exactly as the asynchronous engine applies it per activation.
+    """
+    return min(fwd_child, alpha * gap)
+
+
+def shed_up_amount(load: float, alpha: float, gap: float) -> float:
+    """Amount a hotter child sheds up one edge (``gap > 0``).
+
+    Capped by the child's own load (a served rate cannot go negative).
+    """
+    return min(load, alpha * gap)
+
+
+# ----------------------------------------------------------------------
+# Vectorized synchronous forms
+# ----------------------------------------------------------------------
+def sync_edge_transfers(
+    loads_parent: np.ndarray,
+    loads_child: np.ndarray,
+    view_parent: np.ndarray,
+    view_child: np.ndarray,
+    fwd_child: np.ndarray,
+    alpha: np.ndarray,
+    quantum: float = 0.0,
+) -> np.ndarray:
+    """One synchronous Figure 5 round over every edge: ``down - up``.
+
+    ``loads_*`` are the live endpoint loads, ``view_*`` the (possibly
+    stale) loads each endpoint *believes* its neighbour has, ``fwd_child``
+    the child's forwarded rate (the NSS cap, clamped at zero because it
+    can be transiently negative right after a demand drop), and ``alpha``
+    the per-edge coefficients.  Positive entries move load parent->child.
+    """
+    down = np.minimum(
+        np.maximum(fwd_child, 0.0),
+        np.maximum(alpha * (loads_parent - view_child), 0.0),
+    )
+    up = np.minimum(
+        loads_child, np.maximum(alpha * (loads_child - view_parent), 0.0)
+    )
+    return quantize(down, quantum) - quantize(up, quantum)
+
+
+def clip_edge_transfers(
+    gap_scaled: np.ndarray,
+    loads_child: np.ndarray,
+    fwd_child: np.ndarray,
+    lo_scratch: np.ndarray,
+    hi_scratch: np.ndarray,
+) -> np.ndarray:
+    """The clip form: ``clip(alpha * (L_p - L_c), -L_c, max(A_c, 0))``.
+
+    ``gap_scaled`` must already hold ``alpha * (L_p - L_c)`` and is clipped
+    in place (the batched engine precomputes it into a scratch buffer).
+    Floating-point-identical to :func:`sync_edge_transfers` with live views
+    because exactly one of the two sides is ever non-zero, and negation and
+    multiplication by ``alpha`` are sign-symmetric in IEEE arithmetic.
+    """
+    np.negative(loads_child, out=lo_scratch)
+    np.maximum(fwd_child, 0.0, out=hi_scratch)
+    np.clip(gap_scaled, lo_scratch, hi_scratch, out=gap_scaled)
+    return gap_scaled
+
+
+def capacity_edge_transfers(
+    loads_parent: np.ndarray,
+    loads_child: np.ndarray,
+    util_parent: np.ndarray,
+    util_child: np.ndarray,
+    caps_edge: np.ndarray,
+    fwd_child: np.ndarray,
+    alpha: np.ndarray,
+) -> np.ndarray:
+    """The capacity-weighted variant: equalize utilization ``L/C``.
+
+    The imbalance signal is the utilization gap; the transfer is scaled by
+    the smaller endpoint capacity, which bounds the per-round utilization
+    change at both endpoints by ``alpha * |gap|`` and keeps the iteration
+    stable for ``alpha <= 1/(deg+1)``.
+    """
+    gap = util_parent - util_child
+    scaled = alpha * gap * caps_edge
+    down = np.where(gap > 0.0, np.minimum(fwd_child, scaled), 0.0)
+    up = np.where(gap < 0.0, np.minimum(loads_child, -scaled), 0.0)
+    return down - up
+
+
+def signed_gap_transfers(
+    gap: np.ndarray,
+    loads_child: np.ndarray,
+    fwd_child: np.ndarray,
+    alpha: np.ndarray,
+    eps: float = 1e-12,
+) -> np.ndarray:
+    """The epsilon-gated form the forest engine applies per overlay tree.
+
+    ``gap`` is the imbalance signal (for the forest: parent total load
+    minus child total load); each tree's own ``fwd``/``loads`` provide the
+    caps, so NSS holds within every tree even though the signal couples
+    them.
+    """
+    down = np.where(
+        gap > eps,
+        np.minimum(np.maximum(fwd_child, 0.0), alpha * gap),
+        0.0,
+    )
+    up = np.where(gap < -eps, np.minimum(loads_child, alpha * (-gap)), 0.0)
+    return down - up
+
+
+# ----------------------------------------------------------------------
+# Packet-level greedy realization (Section 5's realistic protocol)
+# ----------------------------------------------------------------------
+def greedy_delegate(
+    budget: float,
+    candidates: Iterable[Tuple[int, float]],
+    min_transfer: float,
+    can_ship: Callable[[int], bool],
+) -> List[Tuple[int, float]]:
+    """Spend a delegation budget across measured per-document rates.
+
+    ``candidates`` are ``(doc, rate)`` pairs hottest-first (the child's
+    forwarded documents); ``can_ship(doc)`` gates which documents the
+    delegating parent can actually copy down (it must cache them).  Each
+    pick takes ``min(rate, remaining budget)`` - the NSS cap against the
+    *measured* forwarded rate - and picks below ``min_transfer`` are
+    skipped, exactly as Figure 5's quantized realization demands.
+    """
+    picks: List[Tuple[int, float]] = []
+    moved = 0.0
+    for doc, rate in candidates:
+        if moved >= budget - _EPS:
+            break
+        if not can_ship(doc):
+            continue
+        x = min(rate, budget - moved)
+        if x < min_transfer:
+            continue
+        moved += x
+        picks.append((doc, x))
+    return picks
+
+
+def greedy_pull(
+    budget: float,
+    candidates: Iterable[Tuple[int, float]],
+    caches: Callable[[int], bool],
+) -> List[Tuple[int, float]]:
+    """An underloaded node raises its own targets for documents it caches.
+
+    Same greedy spend as :func:`greedy_delegate` but with no per-pick
+    minimum: the node already holds the copies, so arbitrarily small target
+    raises cost nothing.
+    """
+    picks: List[Tuple[int, float]] = []
+    moved = 0.0
+    for doc, rate in candidates:
+        if moved >= budget - _EPS:
+            break
+        if not caches(doc):
+            continue
+        x = min(rate, budget - moved)
+        picks.append((doc, x))
+        moved += x
+    return picks
+
+
+def greedy_shed(
+    budget: float,
+    targets: Iterable[Tuple[int, float]],
+) -> List[Tuple[int, float, float]]:
+    """An overloaded node lowers targets, biggest first.
+
+    ``targets`` are ``(doc, target)`` pairs largest-first; returns
+    ``(doc, shed_amount, remaining_target)`` triples.  A remaining target
+    that reaches zero signals the caller to drop the copy (unless pinned) -
+    the inverse of delegation, capped by what the node itself serves.
+    """
+    picks: List[Tuple[int, float, float]] = []
+    shed = 0.0
+    for doc, target in targets:
+        if shed >= budget - _EPS:
+            break
+        x = min(target, budget - shed)
+        shed += x
+        picks.append((doc, x, target - x))
+    return picks

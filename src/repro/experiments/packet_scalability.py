@@ -1,0 +1,202 @@
+"""Packet-plane throughput: the rebuilt simulator vs the frozen original.
+
+PR 4 rebuilt the packet-level plane (array state, inline path walker,
+batched arrival timelines, vectorized gossip, shared Figure 5 policy) with
+a hard bit-parity contract against the original per-hop-event
+implementation, which :mod:`repro.protocols.reference` preserves verbatim.
+This experiment measures what that bought: for growing trees under a
+regional hot-leaf workload, it runs the same WebWave scenario on both
+planes and reports requests/sec, executed heap events, and the speedup -
+checking, run by run, that both planes produced identical metrics.
+
+The old plane's costs scale with the network, not just the traffic: two
+heap closures per tree edge per gossip period, one heap event per router
+hop, O(n x docs) stagnation scans per diffusion period.  The rebuilt plane
+takes one vectorized meter snapshot per gossip tick, ~2 heap events per
+request, and visits only demand-active nodes, so the speedup *grows* with
+n - the packet plane stops being the reason `overhead`/`fig6`/`fig7`-style
+studies stay at toy sizes.
+
+Rows feed ``benchmarks/BENCH_packet.json`` (schema ``bench-packet/v1``)
+via ``benchmarks/test_bench_packet.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.tables import format_table
+from ..core.tree import kary_tree
+from ..documents.catalog import Catalog
+from ..protocols.reference import ReferenceWebWaveScenario
+from ..protocols.scenario import ScenarioConfig, ScenarioMetrics
+from ..protocols.webwave import WebWaveScenario
+from ..traffic.workload import Workload, hot_document_workload
+
+__all__ = [
+    "PacketScalabilityRow",
+    "PacketScalabilityResult",
+    "regional_hotspot_workload",
+    "run_packet_scalability",
+]
+
+
+def regional_hotspot_workload(
+    height: int,
+    documents: int = 12,
+    hot_leaves: int = 256,
+    hot_rate: float = 12.0,
+    zipf_s: float = 0.9,
+) -> Workload:
+    """A big k-ary tree where a bounded set of leaf regions stays hot.
+
+    The heavy-traffic shape of the ROADMAP: the network (and the gossip
+    plane with it) grows with ``height``, while the request-generating
+    population is a fixed set of hot access networks - so the comparison
+    isolates how each plane's *structural* costs scale with n.
+    """
+    tree = kary_tree(2, height)
+    catalog = Catalog.generate(home=tree.root, count=documents)
+    leaves = tree.leaves()
+    step = max(len(leaves) // hot_leaves, 1)
+    rates = [0.0] * tree.n
+    for leaf in leaves[::step][:hot_leaves]:
+        rates[leaf] = hot_rate
+    return hot_document_workload(tree, catalog, rates, zipf_s=zipf_s)
+
+
+def _metrics_identical(a: ScenarioMetrics, b: ScenarioMetrics) -> bool:
+    return (
+        a.completed == b.completed
+        and a.generated == b.generated
+        and a.response_times == b.response_times
+        and a.hops == b.hops
+        and a.served_by_node == b.served_by_node
+        and a.messages == b.messages
+    )
+
+
+@dataclass(frozen=True)
+class PacketScalabilityRow:
+    """Both planes on one tree size, same seed, same workload."""
+
+    nodes: int
+    height: int
+    documents: int
+    duration: float
+    requests: int
+    reference_requests_per_sec: float
+    packet_requests_per_sec: float
+    speedup: float
+    reference_events: int
+    packet_events: int
+    metrics_identical: bool
+
+
+@dataclass(frozen=True)
+class PacketScalabilityResult:
+    rows: Tuple[PacketScalabilityRow, ...]
+
+    def report(self) -> str:
+        return format_table(
+            [
+                "nodes",
+                "docs",
+                "requests",
+                "ref req/s",
+                "new req/s",
+                "speedup",
+                "ref events",
+                "new events",
+                "parity",
+            ],
+            [
+                [
+                    r.nodes,
+                    r.documents,
+                    r.requests,
+                    r.reference_requests_per_sec,
+                    r.packet_requests_per_sec,
+                    r.speedup,
+                    r.reference_events,
+                    r.packet_events,
+                    "exact" if r.metrics_identical else "DIVERGED",
+                ]
+                for r in self.rows
+            ],
+            precision=2,
+            title="Packet-plane throughput (rebuilt vs pre-refactor reference)",
+        )
+
+    def as_json(self) -> Dict[str, Dict]:
+        return {f"n{r.nodes}": asdict(r) for r in self.rows}
+
+
+# Per-row (tree height, hot leaf regions, virtual duration): the first
+# rows keep demand wide (per-request costs dominate both planes); the last
+# keeps the regional population fixed while the network grows 64x, the
+# regime where the old plane's per-edge gossip closures and O(n)
+# control scans swamp it.
+DEFAULT_CONFIGS: Tuple[Tuple[int, int, float], ...] = (
+    (7, 128, 12.0),
+    (9, 256, 10.0),
+    (11, 256, 8.0),
+    (13, 128, 5.0),
+)
+
+
+def run_packet_scalability(
+    configs: Sequence[Tuple[int, int, float]] = DEFAULT_CONFIGS,
+    documents: int = 12,
+    hot_rate: float = 12.0,
+    seed: int = 0,
+) -> PacketScalabilityResult:
+    """Time both planes on the same seeds across growing trees.
+
+    One shared :class:`Workload` per size (it is stateless: arrival
+    streams derive from each scenario's own seeded RNG family), built
+    outside the timers - the comparison charges each plane its simulator,
+    not the common substrate.  The two metric sets are compared field by
+    field: a benchmark that silently stopped being parity-pinned would
+    report ``DIVERGED`` rather than a speedup.
+    """
+    rows: List[PacketScalabilityRow] = []
+    for height, hot_leaves, duration in configs:
+        config = ScenarioConfig(
+            duration=duration, warmup=duration / 4, seed=seed, default_capacity=60.0
+        )
+        workload = regional_hotspot_workload(
+            height, documents=documents, hot_leaves=hot_leaves, hot_rate=hot_rate
+        )
+
+        start = time.perf_counter()
+        reference = ReferenceWebWaveScenario(workload, config)
+        reference_metrics = reference.run()
+        reference_wall = time.perf_counter() - start
+
+        start = time.perf_counter()
+        packet = WebWaveScenario(workload, config)
+        packet_metrics = packet.run()
+        packet_wall = time.perf_counter() - start
+
+        requests = len(reference.requests)
+        rows.append(
+            PacketScalabilityRow(
+                nodes=reference.tree.n,
+                height=height,
+                documents=documents,
+                duration=duration,
+                requests=requests,
+                reference_requests_per_sec=requests / reference_wall,
+                packet_requests_per_sec=len(packet.requests) / packet_wall,
+                speedup=packet_wall and reference_wall / packet_wall,
+                reference_events=reference.sim.events_executed,
+                packet_events=packet.sim.events_executed,
+                metrics_identical=_metrics_identical(
+                    reference_metrics, packet_metrics
+                ),
+            )
+        )
+    return PacketScalabilityResult(rows=tuple(rows))

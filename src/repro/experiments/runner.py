@@ -27,6 +27,7 @@ from .fig6 import run_fig6
 from .fig7 import run_fig7
 from .gamma import run_gamma_study
 from .overhead import run_overhead
+from .packet_scalability import run_packet_scalability
 from .scalability import run_rate_scalability, run_scalability
 from .tunneling import run_tunneling_study
 
@@ -47,6 +48,10 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[], object]]] = {
     "cluster-scalability": (
         "Cluster plane: batched catalog ticks vs per-document engines",
         run_cluster_scalability,
+    ),
+    "packet-scalability": (
+        "Packet plane: rebuilt array simulator vs the pre-refactor reference",
+        run_packet_scalability,
     ),
     "diffusion": ("E-X2: spectral vs measured diffusion convergence", run_diffusion_theory),
     "alpha": ("E-X3: diffusion-parameter sweep", run_alpha_ablation),

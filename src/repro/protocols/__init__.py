@@ -1,4 +1,6 @@
-"""Packet-level protocols: WebWave and the comparison baselines."""
+"""Packet-level protocols: WebWave, the comparison baselines, the
+cluster-event-driven multi-document scenario, and the frozen pre-refactor
+reference plane used for parity pins and throughput benchmarks."""
 
 from .baselines import (
     DirectoryConfig,
@@ -9,7 +11,10 @@ from .baselines import (
     PushConfig,
     PushScenario,
 )
+from .cluster_packet import ClusterPacketScenario, packet_scenario_from_cluster
+from .reference import ReferenceScenario, ReferenceWebWaveScenario
 from .scenario import Scenario, ScenarioConfig, ScenarioMetrics
+from .state import CacheServerView, MeterBank, PacketState
 from .webwave import WebWaveProtocolConfig, WebWaveScenario
 
 __all__ = [
@@ -25,4 +30,11 @@ __all__ = [
     "IcpConfig",
     "PushScenario",
     "PushConfig",
+    "ClusterPacketScenario",
+    "packet_scenario_from_cluster",
+    "ReferenceScenario",
+    "ReferenceWebWaveScenario",
+    "PacketState",
+    "MeterBank",
+    "CacheServerView",
 ]

@@ -304,7 +304,9 @@ class PushScenario(Scenario):
         self.push = push or PushConfig()
 
     def on_start(self) -> None:
-        self.sim.every(self.push.push_period, self._push_step)
+        # Installs mutate datapath state, so the timer and the transfers
+        # must be control events the default walker respects.
+        self._control_every(self.push.push_period, self._push_step)
 
     def _push_step(self) -> None:
         now = self.sim.now
@@ -336,4 +338,4 @@ class PushScenario(Scenario):
                     server.serve_targets[doc_id] = math.inf
                     self.routers[target].sync_filter()
 
-                self.sim.after(delay, install)
+                self._schedule_control(delay, install)

@@ -1,0 +1,221 @@
+"""Multi-document packet scenarios driven by cluster-plane event lists.
+
+The cluster plane's scenario drivers (:mod:`repro.cluster.scenarios`: flash
+crowds, diurnal swings, churn) compile operational situations down to an
+initial catalog plus :class:`~repro.cluster.runtime.ClusterEvent` lifecycle
+changes.  Until now those scenarios could only run at *rate* fidelity (one
+Figure 5 round per tick on load vectors).  This module replays the same
+event lists on the packet-level simulator: every document becomes real
+request traffic from its client populations, every lifecycle event becomes
+a mid-run mutation of the arrival processes, and the full WebWave protocol
+(gossip, diffusion, tunneling, en-route filtering) reacts to it packet by
+packet.
+
+Mapping of cluster vocabulary onto the packet plane:
+
+* one tick = ``tick_duration`` virtual seconds (default: one diffusion
+  period, so a rate-level tick and a packet-level diffusion round align);
+* ``set_rates`` / ``scale`` - the per-(node, document) arrival processes
+  are swapped for processes at the new rates (same RNG streams, so a
+  source's randomness stays one continuous stream across changes);
+* ``publish`` - the document starts generating requests (its authoritative
+  copy is pinned at the home from the start: the catalog is the union of
+  every document the scenario will ever publish);
+* ``retire`` - its sources stop; cached copies drain via normal shedding.
+
+Retired documents keep their cache copies until diffusion sheds them -
+the packet realization of the cluster plane's mass-conserving retire.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..cluster.scenarios import ClusterScenario
+from ..documents.catalog import Catalog
+from ..documents.document import Document
+from ..traffic.workload import ARRIVAL_KINDS, Workload
+from .scenario import Scenario, ScenarioConfig, _ArrivalSource
+from .webwave import WebWaveProtocolConfig, WebWaveScenario
+
+__all__ = ["ClusterPacketScenario", "packet_scenario_from_cluster"]
+
+
+class _DynamicArrivalSource(_ArrivalSource):
+    """An arrival source whose process can be swapped mid-run.
+
+    A generation counter invalidates the (non-cancellable) pending arrival
+    event: a stale firing simply does nothing.  Swapping keeps the same
+    underlying RNG stream, resampling future arrivals from ``now``.
+    """
+
+    __slots__ = ("generation",)
+
+    def __init__(self, scenario, node, doc_id, process) -> None:
+        super().__init__(scenario, node, doc_id, process)
+        self.generation = 0
+
+    def _advance(self) -> None:
+        i = self.idx + 1
+        if i >= len(self.times):
+            if not self.times:
+                return
+            self._refill(self.times[-1])
+            i = 0
+            if not self.times:
+                return
+        self.idx = i
+        generation = self.generation
+        self.scenario.sim.post(
+            self.times[i], lambda: self.fire_if(generation)
+        )
+
+    def fire_if(self, generation: int) -> None:
+        if generation == self.generation:
+            self.fire()
+
+    def set_process(self, process) -> None:
+        """Swap the arrival process; future arrivals resample from now."""
+        self.generation += 1
+        self.process = process
+        self.idx = -1
+        self.times = []
+        self._refill(self.scenario.sim.now)
+        self._advance()
+
+
+class ClusterPacketScenario(WebWaveScenario):
+    """Packet-level WebWave driven by a cluster scenario's event list."""
+
+    name = "cluster_packet"
+
+    def __init__(
+        self,
+        cluster: ClusterScenario,
+        config: Optional[ScenarioConfig] = None,
+        topology=None,
+        protocol: Optional[WebWaveProtocolConfig] = None,
+        tick_duration: float = 1.0,
+        rate_scale: float = 1.0,
+    ) -> None:
+        if len(cluster.trees) != 1:
+            raise ValueError(
+                "the packet plane runs one routing tree (single-home catalog); "
+                f"got {len(cluster.trees)} homes"
+            )
+        if tick_duration <= 0:
+            raise ValueError("tick_duration must be positive")
+        ((home, tree),) = cluster.trees.items()
+        self.cluster = cluster
+        self.tick_duration = float(tick_duration)
+        self.rate_scale = float(rate_scale)
+        workload = self._build_workload(cluster, home, tree)
+        if config is None:
+            duration = max(cluster.ticks * self.tick_duration, 2.0 * self.tick_duration)
+            config = ScenarioConfig(duration=duration, warmup=0.0)
+        super().__init__(workload, config, topology, protocol)
+        self.events_applied = 0
+
+    def _build_workload(self, cluster: ClusterScenario, home: int, tree) -> Workload:
+        # The catalog is the union of initial and to-be-published
+        # documents, so the home pins every authoritative copy up front.
+        doc_ids = [doc_id for doc_id, _, _ in cluster.documents]
+        for event in cluster.events:
+            if event.action == "publish":
+                doc_ids.append(event.doc_id)
+        catalog = Catalog(
+            home, [Document(doc_id=doc_id, home=home) for doc_id in sorted(set(doc_ids))]
+        )
+        rates: Dict[int, Dict[str, float]] = {}
+        for doc_id, _, doc_rates in cluster.documents:
+            for node, rate in enumerate(doc_rates):
+                if rate > 0:
+                    rates.setdefault(node, {})[doc_id] = rate * self.rate_scale
+        return Workload(tree, catalog, rates)
+
+    # ------------------------------------------------------------------
+    def _schedule_arrivals(self) -> None:
+        processes = self.workload.arrival_processes(
+            self.streams, kind=self.config.arrival_kind
+        )
+        self._source_map: Dict[Tuple[int, str], _DynamicArrivalSource] = {}
+        self._sources = []
+        for (node, doc_id), process in sorted(processes.items()):
+            source = _DynamicArrivalSource(self, node, doc_id, process)
+            self._source_map[(node, doc_id)] = source
+            self._sources.append(source)
+        for source in self._sources:
+            source.start()
+
+    def on_start(self) -> None:
+        super().on_start()
+        for event in self.cluster.events:
+            when = event.tick * self.tick_duration
+            if when > self.config.duration:
+                continue
+            self.sim.at(when, lambda e=event: self._apply_event(e))
+
+    # ------------------------------------------------------------------
+    def _set_source_rate(self, node: int, doc_id: str, rate: float) -> None:
+        build = ARRIVAL_KINDS[self.config.arrival_kind]
+        process = build(rate, self.streams, node, doc_id)
+        source = self._source_map.get((node, doc_id))
+        if source is None:
+            if rate <= 0:
+                return
+            source = _DynamicArrivalSource(self, node, doc_id, process)
+            self._source_map[(node, doc_id)] = source
+            self._sources.append(source)
+            source.start()
+        else:
+            source.set_process(process)
+
+    def _apply_event(self, event) -> None:
+        action = event.action
+        if action in ("set_rates", "publish"):
+            for node, rate in enumerate(event.rates):
+                self._set_source_rate(node, event.doc_id, rate * self.rate_scale)
+        elif action == "retire":
+            for (node, doc_id), source in self._source_map.items():
+                if doc_id == event.doc_id:
+                    source.generation += 1  # silence without resampling
+                    source.process = None
+        elif action == "scale":
+            # doc_id=None scales the whole catalog, else just that document
+            # (matching ClusterRuntime.apply's semantics).
+            for (node, doc_id), source in list(self._source_map.items()):
+                if source.process is None:
+                    continue
+                if event.doc_id is not None and doc_id != event.doc_id:
+                    continue
+                self._set_source_rate(
+                    node, doc_id, source.process.mean_rate * event.factor
+                )
+        else:
+            raise ValueError(f"unknown cluster event action {action!r}")
+        self.count_message("cluster_event")
+        self.events_applied += 1
+
+
+def packet_scenario_from_cluster(
+    cluster: ClusterScenario,
+    config: Optional[ScenarioConfig] = None,
+    topology=None,
+    protocol: Optional[WebWaveProtocolConfig] = None,
+    tick_duration: float = 1.0,
+    rate_scale: float = 1.0,
+) -> ClusterPacketScenario:
+    """Build a packet-level WebWave run from a cluster scenario.
+
+    ``rate_scale`` shrinks (or grows) every demand rate so the cluster
+    drivers' catalog-scale offered loads can be replayed at packet
+    fidelity in reasonable wall time.
+    """
+    return ClusterPacketScenario(
+        cluster,
+        config=config,
+        topology=topology,
+        protocol=protocol,
+        tick_duration=tick_duration,
+        rate_scale=rate_scale,
+    )

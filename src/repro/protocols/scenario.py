@@ -1,16 +1,40 @@
 """Packet-level scenario harness shared by WebWave and all baselines.
 
 A :class:`Scenario` wires together the substrates: a routing tree (possibly
-extracted from a topology), per-node cache servers and routers, a workload
-that schedules request arrivals, and a protocol's behaviour hooks.  The
-datapath is the paper's: a request travels hop-by-hop up the routing tree;
-at each hop the router classifies it and either diverts it into the local
-cache server (which queues it for service) or forwards it to the parent.
-Replies return directly to the origin over the same route.
+extracted from a topology), array-backed per-node protocol state
+(:class:`~repro.protocols.state.PacketState`) fronted by per-node
+server views and routers, a workload that schedules request arrivals, and a
+protocol's behaviour hooks.  The datapath is the paper's: a request travels
+hop-by-hop up the routing tree; at each hop the router classifies it and
+either diverts it into the local cache server (which queues it for service)
+or forwards it to the parent.  Replies return directly to the origin over
+the same route.
+
+Two structural devices make the datapath fast without changing a single
+observable float (pinned by ``tests/golden/packet_goldens.json`` and the
+live reference comparison):
+
+* **Batched arrival timelines** - each (node, document) source pre-samples
+  a chunk of inter-arrival gaps (:meth:`ArrivalProcess.sample_gaps`, RNG
+  stream-exact) and steps through the cumulative times with one slim
+  non-cancellable event per arrival, instead of a closure chain.
+* **The inline path walker** - the default ``handle_arrival`` walks a
+  request up the tree *inside one event* for as long as that is provably
+  equivalent: serve/forward decisions read only meter estimates (constant
+  between window boundaries), cache contents, targets and failure flags
+  (mutated only by registered *control events*).  The walk therefore stops
+  - and defers to a normal heap event - at the next window boundary or
+  control-event time, and the serve itself is always a real heap event at
+  the serve timestamp so queueing order at each server matches the
+  event-per-hop execution exactly.  Per request this costs ~3 heap events
+  instead of ``2 + depth``.
 
 Protocols customize behaviour by overriding hooks:
 
 * :meth:`Scenario.on_start` - install timers (gossip, diffusion, push...);
+  timers and any event that mutates datapath state must go through
+  :meth:`Scenario._control_every` / :meth:`Scenario._schedule_control` so
+  the walker sees them as barriers;
 * :meth:`Scenario.handle_arrival` - per-hop decision (the default is the
   WebWave router datapath; the directory baseline replaces it entirely).
 
@@ -19,11 +43,12 @@ Metrics are collected uniformly so baselines are comparable.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..cache.server import CacheServer
+from ..core.kernel import flatten
 from ..core.load import LoadAssignment
 from ..core.tree import RoutingTree
 from ..core.webfold import webfold
@@ -33,9 +58,19 @@ from ..router.router import Router
 from ..sim.engine import Simulator
 from ..sim.rng import RngStreams
 from ..traffic.requests import Request
-from ..traffic.workload import Workload
+from ..traffic.workload import ARRIVAL_KINDS, Workload
+from .state import CacheServerView, PacketState
 
 __all__ = ["Scenario", "ScenarioConfig", "ScenarioMetrics"]
+
+# Refill size for a source's pre-sampled arrival-time chunks.
+_ARRIVAL_CHUNK = 1024
+
+
+# In-flight requests drain for this fraction of the run past the arrival
+# horizon; run(), completion realization, and arrival pre-sampling must all
+# agree on it or the bit-parity contract breaks.
+_DRAIN_FACTOR = 1.25
 
 
 @dataclass(frozen=True)
@@ -48,6 +83,8 @@ class ScenarioConfig:
     ``cache_capacity`` bounds the number of cached documents per non-home
     server (``None`` reproduces the paper's unlimited-storage assumption);
     ``cache_policy`` selects the replacement policy for bounded stores.
+    ``arrival_kind`` must name a registered arrival process
+    (:data:`repro.traffic.workload.ARRIVAL_KINDS`).
     """
 
     duration: float = 60.0
@@ -69,6 +106,12 @@ class ScenarioConfig:
             raise ValueError("invalid hop_delay or capacity")
         if self.cache_capacity is not None and self.cache_capacity < 1:
             raise ValueError("cache_capacity must be >= 1 or None")
+        if self.arrival_kind not in ARRIVAL_KINDS:
+            known = ", ".join(sorted(ARRIVAL_KINDS))
+            raise ValueError(
+                f"unknown arrival_kind {self.arrival_kind!r}; "
+                f"known kinds: {known}"
+            )
 
 
 @dataclass
@@ -120,6 +163,69 @@ class ScenarioMetrics:
         return sum(self.messages.values())
 
 
+class _ArrivalSource:
+    """One (node, document) source stepping through pre-sampled arrivals.
+
+    Reproduces the original lazy closure chain event for event: the same
+    gap values (``sample_gaps`` is stream-exact), the same absolute times
+    (sequential cumulative sums), the same scheduling order (the next
+    arrival is scheduled after the current one is fully handled).
+    """
+
+    __slots__ = ("scenario", "node", "doc_id", "process", "times", "idx", "duration")
+
+    def __init__(self, scenario: "Scenario", node: int, doc_id: str, process) -> None:
+        self.scenario = scenario
+        self.node = node
+        self.doc_id = doc_id
+        self.process = process
+        self.times: List[float] = []
+        self.idx = -1
+        self.duration = scenario.config.duration
+
+    def start(self) -> None:
+        self._refill(self.scenario.sim.now)
+        self._advance()
+
+    def _refill(self, base: float) -> None:
+        # First fill sizes to the expected arrival count for the whole run
+        # plus Poisson slack; steady refills afterwards.  Cumulative times
+        # are sequential sums, so they equal the original one-gap-at-a-time
+        # absolute times.
+        if self.idx < 0:
+            horizon = self.scenario.config.duration * _DRAIN_FACTOR
+            expect = self.process.mean_rate * horizon
+            chunk = min(int(expect + 4.0 * math.sqrt(expect + 1.0) + 2.0), 1 << 17)
+        else:
+            chunk = _ARRIVAL_CHUNK
+        gaps = self.process.sample_gaps(chunk)
+        times: List[float] = []
+        t = base
+        for gap in gaps.tolist():
+            t = t + gap
+            times.append(t)
+        self.times = times
+        self.idx = -1
+
+    def _advance(self) -> None:
+        i = self.idx + 1
+        if i >= len(self.times):
+            if not self.times:
+                return
+            self._refill(self.times[-1])
+            i = 0
+            if not self.times:
+                return
+        self.idx = i
+        self.scenario.sim.post(self.times[i], self.fire)
+
+    def fire(self) -> None:
+        scenario = self.scenario
+        if scenario.sim.now <= self.duration:
+            scenario._new_request(self.node, self.doc_id)
+            self._advance()
+
+
 class Scenario:
     """Base packet-level scenario; subclasses implement protocols.
 
@@ -147,10 +253,11 @@ class Scenario:
         self.config = config or ScenarioConfig()
         self.topology = topology
         self.tree: RoutingTree = workload.tree
+        self.flat = flatten(self.tree)
         self.sim = Simulator()
         self.streams = RngStreams(self.config.seed)
-        self.servers: List[CacheServer] = []
-        self.routers: List[Router] = []
+        self._parent: List[int] = list(self.tree.parent_map)
+        self._root = self.tree.root
         self._build_nodes()
         self.requests: List[Request] = []
         self.messages: Dict[str, int] = {}
@@ -158,41 +265,55 @@ class Scenario:
         self._completed_after_warmup = 0
         self._generated_after_warmup = 0
         self._finished: List[Request] = []
+        self._pending_completions: List[Tuple[float, int, Request]] = []
         self._measured_snapshot: Optional[List[float]] = None
+        self._path_delay_cache: Dict[Tuple[int, int], float] = {}
+        # Control-event times (the walker's barriers), a lazy min-heap.
+        self._barriers: List[float] = []
+        # Per-node hop latency toward the parent (edge delay + filter
+        # classification cost), hot-path precomputed.
+        self._hop_cost: List[float] = [
+            self.edge_delay(node, self._parent[node]) + self.config.filter_match_cost
+            if node != self._root
+            else 0.0
+            for node in self.tree
+        ]
+        # Router/filter tallies, accumulated in lists on the walk and
+        # flushed onto the Router/FilterTable objects after the run.
+        self._seen: List[int] = [0] * self.tree.n
+        self._diverted: List[int] = [0] * self.tree.n
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     def _build_nodes(self) -> None:
         cfg = self.config
-        for node in self.tree:
-            capacity = (
-                self.topology.capacity(node)
-                if self.topology is not None
-                else cfg.default_capacity
-            )
-            is_home = node == self.tree.root
-            store = None
-            if cfg.cache_capacity is not None and not is_home:
-                from ..cache.store import CacheStore
-
-                store = CacheStore(
-                    capacity=cfg.cache_capacity, policy=cfg.cache_policy
-                )
-            server = CacheServer(
-                node=node,
-                capacity=capacity,
-                is_home=is_home,
-                store=store,
-            )
-            if server.is_home:
-                for doc in self.workload.catalog:
-                    server.install_copy(doc.doc_id, pinned=True)
-            self.servers.append(server)
+        tree = self.tree
+        capacities = [
+            self.topology.capacity(node)
+            if self.topology is not None
+            else cfg.default_capacity
+            for node in tree
+        ]
+        self.state = PacketState(
+            n=tree.n,
+            doc_ids=self.workload.catalog.doc_ids,
+            capacities=capacities,
+            home=tree.root,
+            cache_capacity=cfg.cache_capacity,
+            cache_policy=cfg.cache_policy,
+        )
+        self.servers: List[CacheServerView] = [
+            CacheServerView(self.state, node) for node in tree
+        ]
+        for doc in self.workload.catalog:
+            self.state.install_copy(tree.root, doc.doc_id, pinned=True)
+        self.routers: List[Router] = []
+        for node in tree:
             router = Router(
                 node=node,
-                server=server,
-                parent=self.tree.parent(node),
+                server=self.servers[node],
+                parent=tree.parent(node),
             )
             router.filters.match_cost = cfg.filter_match_cost
             router.sync_filter()
@@ -205,8 +326,14 @@ class Scenario:
         return self.config.hop_delay
 
     def path_delay(self, a: int, b: int) -> float:
-        """Delay along the tree path between two nodes (via ancestors)."""
-        path_a = self.tree.path_to_root(a)
+        """Delay along the tree path between two nodes (via ancestors).
+
+        Memoized: the climb is computed once per ordered pair, exactly as
+        the per-call loop did, then reused (requests repeat pairs forever).
+        """
+        cached = self._path_delay_cache.get((a, b))
+        if cached is not None:
+            return cached
         path_b = set(self.tree.path_to_root(b))
         # climb from a to the first common ancestor, then descend to b
         total = 0.0
@@ -220,11 +347,66 @@ class Scenario:
             p = self.tree.parent(v)
             total += self.edge_delay(v, p)
             v = p
+        self._path_delay_cache[(a, b)] = total
         return total
 
     def count_message(self, kind: str, n: int = 1) -> None:
         """Tally a protocol control message (gossip, probe, copy, ...)."""
         self.messages[kind] = self.messages.get(kind, 0) + n
+
+    # ------------------------------------------------------------------
+    # Control events (the walker's barriers)
+    # ------------------------------------------------------------------
+    def _register_barrier(self, time: float) -> None:
+        heapq.heappush(self._barriers, time)
+
+    def _schedule_control(
+        self, delay: float, callback: Callable[[], None], priority: int = 0
+    ) -> None:
+        """Schedule an event that may mutate datapath-visible state."""
+        time = self.sim.now + delay
+        self._register_barrier(time)
+        self.sim.at(time, callback, priority)
+
+    def _control_at(
+        self, time: float, callback: Callable[[], None], priority: int = 0
+    ) -> None:
+        self._register_barrier(time)
+        self.sim.at(time, callback, priority)
+
+    def _control_every(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        start: Optional[float] = None,
+    ) -> None:
+        """A periodic control timer (same firing pattern as ``sim.every``)."""
+
+        def fire() -> None:
+            callback()
+            next_time = self.sim.now + period
+            self._register_barrier(next_time)
+            self.sim.at(next_time, fire)
+
+        first = self.sim.now + period if start is None else start
+        self._register_barrier(first)
+        self.sim.at(first, fire)
+
+    def _next_barrier(self, now: float) -> float:
+        """First time > now at which datapath-visible state may change.
+
+        The minimum of the next registered control event and the next
+        meter-window boundary (estimates are constant within a window).
+        """
+        barriers = self._barriers
+        while barriers and barriers[0] < now:
+            heapq.heappop(barriers)
+        boundary = (math.floor(now / self.state.meter_window) + 1.0) * (
+            self.state.meter_window
+        )
+        if barriers and barriers[0] < boundary:
+            return barriers[0]
+        return boundary
 
     # ------------------------------------------------------------------
     # Request lifecycle
@@ -233,21 +415,12 @@ class Scenario:
         processes = self.workload.arrival_processes(
             self.streams, kind=self.config.arrival_kind
         )
-
-        def launch(node: int, doc_id: str, process) -> None:
-            gap = process.next_gap()
-            if math.isinf(gap):
-                return
-
-            def fire() -> None:
-                if self.sim.now <= self.config.duration:
-                    self._new_request(node, doc_id)
-                    launch(node, doc_id, process)
-
-            self.sim.after(gap, fire)
-
-        for (node, doc_id), process in sorted(processes.items()):
-            launch(node, doc_id, process)
+        self._sources = [
+            _ArrivalSource(self, node, doc_id, process)
+            for (node, doc_id), process in sorted(processes.items())
+        ]
+        for source in self._sources:
+            source.start()
 
     def _new_request(self, origin: int, doc_id: str) -> None:
         request = Request(
@@ -263,16 +436,78 @@ class Scenario:
         self.handle_arrival(request, origin)
 
     def handle_arrival(self, request: Request, node: int) -> None:
-        """Default datapath: router classify, serve-or-forward (WebWave)."""
-        request.path.append(node)
-        router = self.routers[node]
-        decision = router.process(request.doc_id, self.sim.now)
-        if decision.serve:
-            self._serve(request, node, extra_delay=decision.filter_cost)
-        elif decision.next_hop is not None:
-            self._forward(request, node, decision.next_hop, decision.filter_cost)
-        else:  # root declined: cannot happen (home always serves), but be safe
-            self._serve(request, node, extra_delay=decision.filter_cost)
+        """Default datapath: walk the route inline between barriers.
+
+        Decision-equivalent to one heap event per hop (see the module
+        docstring); the serve is always a real event at the serve time so
+        per-server queueing order stays globally time-ordered.  Router and
+        filter tallies accumulate in plain lists and are flushed onto the
+        Router/FilterTable objects when the run finishes; the filter
+        membership test itself is the cache-contents mirror, which default
+        datapath protocols keep filter-synced at every content change.
+        """
+        sim = self.sim
+        now = sim.now
+        t = now
+        barrier = self._next_barrier(now)
+        state = self.state
+        d = state.doc_index[request.doc_id]
+        cached = state.cached
+        targets = state.targets
+        failed = state.failed
+        seen = self._seen
+        parent = self._parent
+        hop_cost = self._hop_cost
+        root = self._root
+        path = request.path
+        fwd_bank = state.fwd_doc
+        fwd_wstart = fwd_bank.wstart
+        fwd_counts = fwd_bank.counts
+        window = fwd_bank.window
+        docs = state.docs
+        while True:
+            path.append(node)
+            seen[node] += 1
+            if node == root:
+                serve = True
+            elif d in cached[node]:
+                serve = (
+                    not failed[node]
+                    and targets[node, d] > 0.0
+                    and state.served_doc_rate(node, d, t) < targets[node, d]
+                )
+            else:
+                serve = False
+            if serve:
+                self._diverted[node] += 1
+                cost = self.config.filter_match_cost
+                if t == now:
+                    self._serve(request, node, extra_delay=cost)
+                else:
+                    sim.post(
+                        t,
+                        lambda n=node, c=cost: self._serve(
+                            request, n, extra_delay=c
+                        ),
+                    )
+                return
+            next_hop = parent[node]
+            # inline record_forwarded(node, d, t); the per-node forwarded
+            # tally is derived as seen - diverted at flush time
+            k = node * docs + d
+            if t - fwd_wstart[k] >= window:
+                fwd_bank._roll(k, t)
+            fwd_counts[k] += 1.0
+            # parenthesized like the original per-hop `after(delay + cost)`
+            t_next = t + hop_cost[node]
+            if t_next >= barrier:
+                sim.post(
+                    t_next,
+                    lambda n=next_hop: self.handle_arrival(request, n),
+                )
+                return
+            t = t_next
+            node = next_hop
 
     def _forward(self, request: Request, node: int, next_hop: int, extra: float) -> None:
         self.servers[node].record_forwarded(self.sim.now, request.doc_id)
@@ -280,21 +515,42 @@ class Scenario:
         self.sim.after(delay, lambda: self.handle_arrival(request, next_hop))
 
     def _serve(self, request: Request, node: int, extra_delay: float = 0.0) -> None:
-        """Queue the request at ``node``'s server; reply returns to origin."""
-        server = self.servers[node]
-        server.record_served(self.sim.now, request.doc_id)
+        """Queue the request at ``node``'s server; reply returns to origin.
+
+        The completion is a pure timestamp (nothing reads it mid-run), so
+        instead of a heap event it becomes a pending record carrying the
+        seq number its event would have consumed; :meth:`run` realizes the
+        records in exact (time, seq) heap order at collection time.
+        """
+        sim = self.sim
+        now = sim.now
+        state = self.state
+        state.record_served(node, state.doc_index[request.doc_id], now)
         request.served_by = node
-        request.served_at = self.sim.now
-        completion = server.service_completion(self.sim.now) + extra_delay
+        request.served_at = now
+        completion = state.service_completion(node, now) + extra_delay
         return_delay = self.path_delay(node, request.origin)
+        self._pending_completions.append(
+            (completion + return_delay, sim.claim_seq(), request)
+        )
 
-        def complete() -> None:
-            request.completed_at = self.sim.now
+    def _realize_completions(self) -> None:
+        """Apply pending completion records in event order.
+
+        Only completions inside the drain horizon count, exactly as their
+        heap events would have fired; later ones stay incomplete.
+        """
+        horizon = self.config.duration * _DRAIN_FACTOR
+        warmup = self.config.warmup
+        self._pending_completions.sort(key=lambda rec: (rec[0], rec[1]))
+        for time, _seq, request in self._pending_completions:
+            if time > horizon:
+                continue
+            request.completed_at = time
             self._finished.append(request)
-            if request.created_at >= self.config.warmup:
+            if request.created_at >= warmup:
                 self._completed_after_warmup += 1
-
-        self.sim.at(completion + return_delay, complete)
+        self._pending_completions = []
 
     # ------------------------------------------------------------------
     # Failure injection
@@ -321,13 +577,13 @@ class Scenario:
             self.routers[node].sync_filter()
             self.count_message("node_failure")
 
-        self.sim.at(at, crash)
+        self._control_at(at, crash)
         if until is not None:
             def recover() -> None:
                 self.servers[node].failed = False
                 self.count_message("node_recovery")
 
-            self.sim.at(until, recover)
+            self._control_at(until, recover)
 
     # ------------------------------------------------------------------
     # Protocol hooks
@@ -349,8 +605,30 @@ class Scenario:
             server.served_rate(self.sim.now) for server in self.servers
         ]
         # Allow in-flight requests to drain briefly past the arrival horizon.
-        self.sim.run(until=self.config.duration * 1.25)
+        self.sim.run(until=self.config.duration * _DRAIN_FACTOR)
+        self._realize_completions()
+        self._flush_router_counters()
         return self._collect()
+
+    def _flush_router_counters(self) -> None:
+        """Fold the walker's tallies onto the Router/FilterTable objects.
+
+        Walker forwards are ``seen - diverted`` per node (every visit
+        either forwards or serves), sparing the walk one tally; baseline
+        protocols bypass the walker and keep their own counts live.
+        """
+        forwarded = self.state.requests_forwarded
+        for node, router in enumerate(self.routers):
+            seen = self._seen[node]
+            diverted = self._diverted[node]
+            if seen:
+                router.packets_seen += seen
+                router.filters.consultations += seen
+                forwarded[node] += seen - diverted
+                self._seen[node] = 0
+            if diverted:
+                router.packets_diverted += diverted
+                self._diverted[node] = 0
 
     def _collect(self) -> ScenarioMetrics:
         cfg = self.config

@@ -1,0 +1,448 @@
+"""Array-backed per-server protocol state for the packet plane.
+
+The original packet simulator kept protocol state in one dict-of-dicts
+object graph per node (``CacheServer`` with per-document ``RateMeter``
+instances, ``serve_targets`` dicts).  This module rebuilds that state as
+dense NumPy arrays aligned with :class:`~repro.core.kernel.FlatTree` node
+indexing and catalog document indexing:
+
+* :class:`MeterBank` - the windowed-EWMA rate meters as parallel arrays
+  (``counts`` / ``window_start`` / ``estimate`` / ``seeded``), with scalar
+  record/rate operations that are arithmetic-for-arithmetic identical to
+  the original :class:`~repro.cache.server.RateMeter`, plus vectorized
+  roll-and-read for the control plane (one gossip snapshot = one array op
+  instead of ``n`` object traversals);
+* :class:`PacketState` - serve targets as an ``(n, D)`` matrix, three
+  meter banks (total served per node, served and forwarded per
+  ``(node, document)``), queue/busy bookkeeping, failure flags, and the
+  per-node cache stores with a document-*index* set mirror for the
+  datapath's membership tests;
+* :class:`CacheServerView` - a per-node facade over the shared arrays
+  exposing the exact ``CacheServer`` API (``wants_to_serve``,
+  ``forwarded_documents``, ``serve_targets`` as a mapping, ...), so
+  baselines, failure injection, and tests keep reading and mutating one
+  authoritative store.
+
+Bit-for-bit parity with the dict-based plane is pinned by
+``tests/golden/packet_goldens.json`` (recorded pre-refactor) and the live
+reference comparison in ``tests/protocols/test_packet_parity.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cache.store import CacheStore
+
+__all__ = ["MeterBank", "PacketState", "CacheServerView", "TargetsView"]
+
+
+class MeterBank:
+    """A bank of windowed-EWMA rate meters over one shared estimate array.
+
+    Semantics per meter are exactly :class:`~repro.cache.server.RateMeter`
+    with the default ``alpha = 0.5``: events are counted into fixed
+    windows anchored at t=0; crossing a boundary folds the finished
+    window's rate into the estimate.  Rolls are lazy and idempotent, so
+    scalar and bulk access orders cannot change any value.
+
+    Layout: the *estimates* - what gossip snapshots and the diffusion
+    plane consume in bulk - live in one NumPy array (``est``); the
+    per-event bookkeeping (``counts``/``wstart``/``seeded``) lives in
+    plain lists, whose scalar read-modify-write is ~3x cheaper than NumPy
+    item access on the per-hop datapath.  A meter rolls at most once per
+    window, so the array writes stay off the hot path.
+    """
+
+    __slots__ = ("size", "window", "alpha", "counts", "wstart", "est", "seeded")
+
+    def __init__(self, size: int, window: float = 1.0, alpha: float = 0.5) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.size = size
+        self.window = window
+        self.alpha = alpha
+        self.counts = [0.0] * size
+        self.wstart = [0.0] * size
+        self.est = np.zeros(size, dtype=np.float64)
+        self.seeded = [False] * size
+
+    # -- scalar hot path -------------------------------------------------
+    def _roll(self, k: int, now: float) -> None:
+        window = self.window
+        ws = self.wstart[k]
+        if now - ws < window:
+            return
+        alpha = self.alpha
+        count = self.counts[k]
+        est = float(self.est[k])
+        seeded = self.seeded[k]
+        while now - ws >= window:
+            window_rate = count / window
+            if seeded:
+                est += alpha * (window_rate - est)
+            else:
+                est = window_rate
+                seeded = True
+            count = 0.0
+            ws += window
+        self.counts[k] = count
+        self.wstart[k] = ws
+        self.est[k] = est
+        self.seeded[k] = seeded
+
+    def record(self, k: int, now: float, weight: float = 1.0) -> None:
+        """Count ``weight`` events on meter ``k`` at time ``now``."""
+        if now - self.wstart[k] >= self.window:
+            self._roll(k, now)
+        self.counts[k] += weight
+
+    def rate(self, k: int, now: float) -> float:
+        """Meter ``k``'s events/second estimate at time ``now``."""
+        if now - self.wstart[k] >= self.window:
+            self._roll(k, now)
+        return float(self.est[k])
+
+    # -- bulk control plane ----------------------------------------------
+    def roll_range(self, now: float, lo: int, hi: int) -> None:
+        """Roll meters ``lo:hi`` up to ``now`` (scalar-identical).
+
+        Never-touched meters are skipped: their estimate is identically
+        zero whether rolled now or lazily at first use (the dict-based
+        plane created those meters lazily, with the same anchored-at-zero
+        catch-up roll on first touch).
+        """
+        window = self.window
+        wstart = self.wstart
+        counts = self.counts
+        seeded = self.seeded
+        for k in range(lo, hi):
+            if now - wstart[k] >= window and (seeded[k] or counts[k] != 0.0):
+                self._roll(k, now)
+
+    def rates_all(self, now: float) -> np.ndarray:
+        """Every meter's estimate at ``now`` (rolled, copied out)."""
+        self.roll_range(now, 0, self.size)
+        return self.est.copy()
+
+
+class TargetsView:
+    """One node's serve targets as a mapping over the shared matrix.
+
+    Mirrors the original per-node dict: membership is the explicit-entry
+    mask (a zero-valued entry is still *present* until popped), iteration
+    is document-index order.
+    """
+
+    __slots__ = ("_state", "_node")
+
+    def __init__(self, state: "PacketState", node: int) -> None:
+        self._state = state
+        self._node = node
+
+    def _idx(self, doc_id: str) -> int:
+        return self._state.doc_index[doc_id]
+
+    def __contains__(self, doc_id: str) -> bool:
+        return bool(self._state.has_target[self._node, self._idx(doc_id)])
+
+    def __getitem__(self, doc_id: str) -> float:
+        d = self._idx(doc_id)
+        if not self._state.has_target[self._node, d]:
+            raise KeyError(doc_id)
+        return float(self._state.targets[self._node, d])
+
+    def __setitem__(self, doc_id: str, value: float) -> None:
+        d = self._idx(doc_id)
+        self._state.targets[self._node, d] = value
+        self._state.has_target[self._node, d] = True
+
+    def get(self, doc_id: str, default: float = 0.0) -> float:
+        d = self._state.doc_index.get(doc_id)
+        if d is None or not self._state.has_target[self._node, d]:
+            return default
+        return float(self._state.targets[self._node, d])
+
+    def pop(self, doc_id: str, default=None):
+        d = self._state.doc_index.get(doc_id)
+        if d is None or not self._state.has_target[self._node, d]:
+            return default
+        value = float(self._state.targets[self._node, d])
+        self._state.targets[self._node, d] = 0.0
+        self._state.has_target[self._node, d] = False
+        return value
+
+    def items(self) -> List[Tuple[str, float]]:
+        state, node = self._state, self._node
+        row = state.targets[node]
+        return [
+            (state.doc_ids[d], float(row[d]))
+            for d in np.flatnonzero(state.has_target[node]).tolist()
+        ]
+
+    def keys(self) -> List[str]:
+        return [doc_id for doc_id, _ in self.items()]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def __len__(self) -> int:
+        return int(self._state.has_target[self._node].sum())
+
+
+class PacketState:
+    """All per-server protocol state of one packet scenario, as arrays.
+
+    Node axis follows the routing tree's node ids (= FlatTree indexing);
+    document axis follows the catalog's sorted ``doc_ids``.  Per-document
+    meters live in flat banks of size ``n * D`` indexed ``node * D + doc``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        doc_ids: Sequence[str],
+        capacities: Sequence[float],
+        home: int,
+        cache_capacity: Optional[int] = None,
+        cache_policy: str = "lru",
+        meter_window: float = 1.0,
+    ) -> None:
+        self.n = n
+        self.doc_ids: Tuple[str, ...] = tuple(doc_ids)
+        self.docs = len(self.doc_ids)
+        self.doc_index: Dict[str, int] = {
+            doc_id: d for d, doc_id in enumerate(self.doc_ids)
+        }
+        self.home = home
+        self.capacity = np.asarray(capacities, dtype=np.float64)
+        if self.capacity.shape != (n,):
+            raise ValueError(f"expected {n} capacities")
+        self.meter_window = meter_window
+
+        d = self.docs
+        self.targets = np.zeros((n, d), dtype=np.float64)
+        self.has_target = np.zeros((n, d), dtype=bool)
+        self.served_total = MeterBank(n, meter_window)
+        self.served_doc = MeterBank(n * d, meter_window)
+        self.fwd_doc = MeterBank(n * d, meter_window)
+        self.busy_until = np.zeros(n, dtype=np.float64)
+        self.busy_time = np.zeros(n, dtype=np.float64)
+        # Plain-int tallies (no arithmetic coupling): list RMW is ~3x
+        # cheaper than NumPy scalar RMW on the per-hop path.
+        self.requests_served = [0] * n
+        self.requests_forwarded = [0] * n
+        self.failed = np.zeros(n, dtype=bool)
+        self.stores: List[CacheStore] = [
+            CacheStore()
+            if cache_capacity is None or node == home
+            else CacheStore(capacity=cache_capacity, policy=cache_policy)
+            for node in range(n)
+        ]
+        # Document-index mirror of each store's contents: the datapath's
+        # membership test (kept in sync by install/drop below).
+        self.cached: List[set] = [set() for _ in range(n)]
+        # Last virtual time each node's forwarded-rate row was bulk-rolled;
+        # diffusion reads the same rows several times per tick.
+        self._fwd_row_stamp: List[float] = [-1.0] * n
+
+    # ------------------------------------------------------------------
+    # Cache content (store is the authority; ``cached`` mirrors it)
+    # ------------------------------------------------------------------
+    def install_copy(self, node: int, doc_id: str, pinned: bool = False) -> Optional[str]:
+        evicted = self.stores[node].insert(doc_id, pinned=pinned)
+        self.cached[node].add(self.doc_index[doc_id])
+        if evicted is not None:
+            self.cached[node].discard(self.doc_index[evicted])
+        return evicted
+
+    def drop_copy(self, node: int, doc_id: str) -> None:
+        store = self.stores[node]
+        store.discard(doc_id)
+        d = self.doc_index[doc_id]
+        if doc_id not in store:
+            self.cached[node].discard(d)
+        self.targets[node, d] = 0.0
+        self.has_target[node, d] = False
+
+    # ------------------------------------------------------------------
+    # Datapath accounting
+    # ------------------------------------------------------------------
+    def record_served(self, node: int, d: int, now: float) -> None:
+        self.stores[node].touch(self.doc_ids[d])
+        self.requests_served[node] += 1
+        self.served_total.record(node, now)
+        self.served_doc.record(node * self.docs + d, now)
+
+    def record_forwarded(self, node: int, d: int, now: float) -> None:
+        self.requests_forwarded[node] += 1
+        self.fwd_doc.record(node * self.docs + d, now)
+
+    def served_doc_rate(self, node: int, d: int, now: float) -> float:
+        return self.served_doc.rate(node * self.docs + d, now)
+
+    def doc_row(self, bank: MeterBank, node: int, now: float) -> np.ndarray:
+        """One node's per-document rates from ``bank`` (rolled, a view)."""
+        lo = node * self.docs
+        bank.roll_range(now, lo, lo + self.docs)
+        return bank.est[lo : lo + self.docs]
+
+    def _fwd_row(self, node: int, now: float) -> np.ndarray:
+        """The forwarded-rate row, with the bulk roll memoized per time.
+
+        Safe because estimates at a fixed time are unique: every record
+        self-rolls its meter, so a row rolled once at ``now`` stays
+        rolled-to-``now`` for the rest of the instant.
+        """
+        lo = node * self.docs
+        if self._fwd_row_stamp[node] != now:
+            self.fwd_doc.roll_range(now, lo, lo + self.docs)
+            self._fwd_row_stamp[node] = now
+        return self.fwd_doc.est[lo : lo + self.docs]
+
+    def forwarded_documents(
+        self, node: int, now: float, min_rate: float = 1e-9
+    ) -> List[Tuple[str, float]]:
+        """Documents ``node`` is forwarding, hottest first (ties: doc id)."""
+        rates = self._fwd_row(node, now)
+        pairs = [
+            (self.doc_ids[d], float(rates[d]))
+            for d in np.flatnonzero(rates > min_rate).tolist()
+        ]
+        pairs.sort(key=lambda dr: (-dr[1], dr[0]))
+        return pairs
+
+    def forwarded_rate(self, node: int, now: float, d: Optional[int] = None) -> float:
+        if d is not None:
+            return self.fwd_doc.rate(node * self.docs + d, now)
+        return float(sum(self._fwd_row(node, now).tolist()))
+
+    # ------------------------------------------------------------------
+    # Service queue (deterministic single-server, 1/capacity per request)
+    # ------------------------------------------------------------------
+    def service_completion(self, node: int, now: float) -> float:
+        # Plain-float arithmetic: completion times flow into event
+        # timestamps, and the parity contract is bit-exact.
+        service_time = 1.0 / float(self.capacity[node])
+        start = max(now, float(self.busy_until[node]))
+        completion = start + service_time
+        self.busy_until[node] = completion
+        self.busy_time[node] += service_time
+        return completion
+
+
+class CacheServerView:
+    """Per-node facade over :class:`PacketState` with the CacheServer API.
+
+    Everything (tests, baselines, failure injection, analysis) that used
+    to hold a ``CacheServer`` object holds one of these; all reads and
+    writes land in the shared arrays.
+    """
+
+    __slots__ = ("_state", "node", "is_home", "serve_targets")
+
+    def __init__(self, state: PacketState, node: int) -> None:
+        self._state = state
+        self.node = node
+        self.is_home = node == state.home
+        self.serve_targets = TargetsView(state, node)
+
+    # -- content ---------------------------------------------------------
+    @property
+    def store(self) -> CacheStore:
+        return self._state.stores[self.node]
+
+    def caches(self, doc_id: str) -> bool:
+        return self._state.doc_index.get(doc_id) in self._state.cached[self.node]
+
+    def install_copy(self, doc_id: str, pinned: bool = False) -> Optional[str]:
+        return self._state.install_copy(self.node, doc_id, pinned=pinned)
+
+    def drop_copy(self, doc_id: str) -> None:
+        self._state.drop_copy(self.node, doc_id)
+
+    # -- flags / scalars --------------------------------------------------
+    @property
+    def failed(self) -> bool:
+        return bool(self._state.failed[self.node])
+
+    @failed.setter
+    def failed(self, value: bool) -> None:
+        self._state.failed[self.node] = value
+
+    @property
+    def capacity(self) -> float:
+        return float(self._state.capacity[self.node])
+
+    @property
+    def busy_until(self) -> float:
+        return float(self._state.busy_until[self.node])
+
+    @property
+    def busy_time(self) -> float:
+        return float(self._state.busy_time[self.node])
+
+    @property
+    def requests_served(self) -> int:
+        return int(self._state.requests_served[self.node])
+
+    @property
+    def requests_forwarded(self) -> int:
+        return int(self._state.requests_forwarded[self.node])
+
+    # -- serve decision ---------------------------------------------------
+    def wants_to_serve(self, doc_id: str, now: float) -> bool:
+        state = self._state
+        node = self.node
+        if state.failed[node]:
+            return False
+        if self.is_home:
+            return True
+        d = state.doc_index.get(doc_id)
+        if d is None or d not in state.cached[node]:
+            return False
+        target = state.targets[node, d]
+        if target <= 0.0:
+            return False
+        return state.served_doc_rate(node, d, now) < target
+
+    # -- accounting -------------------------------------------------------
+    def record_served(self, now: float, doc_id: str) -> None:
+        self._state.record_served(self.node, self._state.doc_index[doc_id], now)
+
+    def record_forwarded(self, now: float, doc_id: str) -> None:
+        self._state.record_forwarded(self.node, self._state.doc_index[doc_id], now)
+
+    def served_rate(self, now: float, doc_id: Optional[str] = None) -> float:
+        if doc_id is None:
+            return self._state.served_total.rate(self.node, now)
+        d = self._state.doc_index.get(doc_id)
+        if d is None:
+            return 0.0
+        return self._state.served_doc_rate(self.node, d, now)
+
+    def forwarded_rate(self, now: float, doc_id: Optional[str] = None) -> float:
+        if doc_id is None:
+            return self._state.forwarded_rate(self.node, now)
+        d = self._state.doc_index.get(doc_id)
+        if d is None:
+            return 0.0
+        return self._state.forwarded_rate(self.node, now, d)
+
+    def forwarded_documents(
+        self, now: float, min_rate: float = 1e-9
+    ) -> List[Tuple[str, float]]:
+        return self._state.forwarded_documents(self.node, now, min_rate)
+
+    # -- service ----------------------------------------------------------
+    def service_completion(self, now: float) -> float:
+        return self._state.service_completion(self.node, now)
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return min(float(self._state.busy_time[self.node]) / elapsed, 1.0)

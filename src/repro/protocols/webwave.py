@@ -14,6 +14,19 @@ estimates:
 * a child hotter than its parent **sheds**: it lowers targets, dropping
   copies whose target reaches zero (the router filter is re-synced).
 
+The delegate/pull/shed arithmetic itself lives in
+:mod:`repro.core.policy` (:func:`~repro.core.policy.diffusion_budget` for
+the per-edge budget, the greedy allocators for spending it against
+measured per-document rates) - the same Figure 5 decision core the kernel
+engines iterate, so the packet protocol and the rate-level simulators can
+never drift apart.
+
+State is array-backed (:class:`~repro.protocols.state.PacketState`):
+gossip views are two arrays (each node's view of its parent; each edge's
+parent-side view of the child), one snapshot of every server's measured
+load is taken per gossip tick with a vectorized meter roll, and deliveries
+are batched per distinct link delay instead of two closures per edge.
+
 Barrier recovery per Section 5.2: a node underloaded relative to its parent
 for more than ``patience`` consecutive diffusion periods with no delegation
 received *tunnels* - it requests its hottest forwarded document directly
@@ -31,6 +44,9 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
+from ..core.policy import diffusion_budget, greedy_delegate, greedy_pull, greedy_shed
 from .scenario import Scenario, ScenarioConfig
 from ..traffic.workload import Workload
 
@@ -78,109 +94,173 @@ class WebWaveScenario(Scenario):
     ) -> None:
         super().__init__(workload, config, topology)
         self.protocol = protocol or WebWaveProtocolConfig()
-        # load_estimates[i][j]: i's view of neighbour j's total load
-        self.load_estimates: List[Dict[int, float]] = [
-            {j: 0.0 for j in self.tree.neighbors(i)} for i in self.tree
+        flat = self.flat
+        n = flat.n
+        # Gossip views, FlatTree-aligned: _view_parent[i] is i's latest
+        # estimate of its parent's load; _view_child[k] is edge k's parent's
+        # estimate of that edge's child.
+        self._view_parent = np.zeros(n, dtype=np.float64)
+        self._view_child = np.zeros(flat.edge_child.shape[0], dtype=np.float64)
+        self._edge_of_child = np.zeros(n, dtype=np.intp)
+        self._edge_of_child[flat.edge_child] = np.arange(
+            flat.edge_child.shape[0], dtype=np.intp
+        )
+        self._children: List[List[int]] = [
+            flat.children_of(i).tolist() for i in range(n)
         ]
-        self._stagnant: List[int] = [0] * self.tree.n
-        self._delegated_to: List[bool] = [False] * self.tree.n
+        self._bfs = list(self.tree.bfs_order())
+        self._bfs_rank = np.zeros(n, dtype=np.intp)
+        self._bfs_rank[self._bfs] = np.arange(n, dtype=np.intp)
+        self._degree = flat.degree.tolist()
+        # Deliveries batched by distinct one-way delay, one event per
+        # (delay, direction) group per gossip tick instead of 2E closures.
+        down_groups: Dict[float, List[int]] = {}
+        up_groups: Dict[float, List[int]] = {}
+        for k, (p, c) in enumerate(zip(flat.edge_parent, flat.edge_child)):
+            down_groups.setdefault(self.edge_delay(int(p), int(c)), []).append(k)
+            up_groups.setdefault(self.edge_delay(int(c), int(p)), []).append(k)
+        self._gossip_down = [
+            (delay, np.asarray(ks, dtype=np.intp))
+            for delay, ks in sorted(down_groups.items())
+        ]
+        self._gossip_up = [
+            (delay, np.asarray(ks, dtype=np.intp))
+            for delay, ks in sorted(up_groups.items())
+        ]
+        self._stagnant: List[int] = [0] * n
+        self._stagnant_nodes: set = set()
+        self._delegated_to: List[bool] = [False] * n
         self.tunnel_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def load_estimates(self) -> List[Dict[int, float]]:
+        """Per-node neighbour-load views as dicts (compatibility shape)."""
+        flat = self.flat
+        out: List[Dict[int, float]] = []
+        for i in range(flat.n):
+            view: Dict[int, float] = {}
+            if i != flat.root:
+                view[int(flat.parent[i])] = float(self._view_parent[i])
+            for c in self._children[i]:
+                view[c] = float(self._view_child[self._edge_of_child[c]])
+            out.append(view)
+        return out
 
     # ------------------------------------------------------------------
     def on_start(self) -> None:
         p = self.protocol
+        # Gossip only reads meters (rolls are time-deterministic) and
+        # schedules view-array deliveries the datapath never reads, so it
+        # is NOT a walker barrier; diffusion mutates targets and caches.
         self.sim.every(p.gossip_period, self._gossip, start=p.gossip_period / 2)
-        self.sim.every(p.diffusion_period, self._diffuse, start=p.diffusion_period)
+        self._control_every(p.diffusion_period, self._diffuse, start=p.diffusion_period)
 
     # ------------------------------------------------------------------
     def _alpha(self, a: int, b: int) -> float:
         if self.protocol.alpha is not None:
             return self.protocol.alpha
-        return min(
-            1.0 / (self.tree.degree(a) + 1),
-            1.0 / (self.tree.degree(b) + 1),
-        )
+        degree = self._degree
+        return min(1.0 / (degree[a] + 1), 1.0 / (degree[b] + 1))
 
     def _gossip(self) -> None:
         """Every node broadcasts its measured load to its tree neighbours.
 
-        Estimates land after the corresponding link delay, modelling the
-        gossip staleness a real deployment sees.
+        One vectorized meter snapshot; estimates land after the
+        corresponding link delay (batched per distinct delay), modelling
+        the gossip staleness a real deployment sees.
         """
-        now = self.sim.now
-        for i in self.tree:
-            load = self.servers[i].served_rate(now)
-            for j in self.tree.neighbors(i):
-                self.count_message("gossip")
-                delay = self.edge_delay(i, j)
+        flat = self.flat
+        loads = self.state.served_total.rates_all(self.sim.now)
+        self.count_message("gossip", 2 * flat.edge_child.shape[0])
+        ep, ec = flat.edge_parent, flat.edge_child
+        for delay, ks in self._gossip_down:
+            # parent -> child: each child updates its view of the parent
 
-                def deliver(j=j, i=i, load=load) -> None:
-                    self.load_estimates[j][i] = load
+            def deliver_down(ks=ks, values=loads[ep[ks]]) -> None:
+                self._view_parent[ec[ks]] = values
 
-                self.sim.after(delay, deliver)
+            self.sim.post(self.sim.now + delay, deliver_down)
+        for delay, ks in self._gossip_up:
+            # child -> parent: the parent updates its view of that child
+
+            def deliver_up(ks=ks, values=loads[ec[ks]]) -> None:
+                self._view_child[ks] = values
+
+            self.sim.post(self.sim.now + delay, deliver_up)
 
     # ------------------------------------------------------------------
     def _diffuse(self) -> None:
-        """One diffusion period: every node runs Figure 5 on its estimates."""
+        """One diffusion period: every node runs Figure 5 on its estimates.
+
+        Only *active* nodes are visited, in BFS order: a node with zero
+        measured load and a zero parent view provably takes no Figure 5
+        action (every gap test fails), so skipping it is exact - and on a
+        big tree with regional demand most nodes are idle most ticks.
+        """
         now = self.sim.now
-        self._delegated_to = [False] * self.tree.n
-        for i in self.tree.bfs_order():
-            self._diffuse_node(i, now)
+        loads = self.state.served_total.rates_all(now)
+        self._delegated_to = [False] * self.flat.n
+        active = np.flatnonzero((loads > _EPS) | (self._view_parent > _EPS))
+        order = active[np.argsort(self._bfs_rank[active], kind="stable")]
+        for i in order.tolist():
+            self._diffuse_node(i, loads, now)
         if self.protocol.tunneling:
-            self._check_barriers(now)
+            self._check_barriers(loads, now)
         else:
             # keep the stagnation counters honest even when recovery is off
-            self._update_stagnation(now)
+            self._update_stagnation(loads, now)
 
-    def _diffuse_node(self, i: int, now: float) -> None:
-        server = self.servers[i]
-        my_load = server.served_rate(now)
+    def _diffuse_node(self, i: int, loads: np.ndarray, now: float) -> None:
+        p = self.protocol
+        my_load = float(loads[i])
+        edge_of = self._edge_of_child
         # -- toward children: delegate copies down (Figure 5, step 2.1) --
-        for j in self.tree.children(i):
-            child_load = self.load_estimates[i].get(j, 0.0)
-            gap = my_load - child_load
+        for j in self._children[i]:
+            gap = my_load - float(self._view_child[edge_of[j]])
             if gap <= _EPS:
                 continue
-            budget = self._alpha(i, j) * gap
-            if budget < self.protocol.min_transfer_rate:
+            budget = diffusion_budget(my_load, float(self._view_child[edge_of[j]]), self._alpha(i, j))
+            if budget < p.min_transfer_rate:
                 continue
             self._delegate(i, j, budget, now)
         # -- toward parent (Figure 5, step 2.2) ---------------------------
-        parent = self.tree.parent(i)
-        if parent is None:
+        if i == self._root:
             return
-        parent_load = self.load_estimates[i].get(parent, 0.0)
+        parent = self._parent[i]
+        parent_load = float(self._view_parent[i])
         gap = parent_load - my_load
         if gap > _EPS:
-            budget = self._alpha(i, parent) * gap
-            if budget >= self.protocol.min_transfer_rate:
+            budget = diffusion_budget(parent_load, my_load, self._alpha(i, parent))
+            if budget >= p.min_transfer_rate:
                 self._pull(i, budget, now)
         elif -gap > _EPS:
-            budget = self._alpha(i, parent) * (-gap)
-            if budget >= self.protocol.min_transfer_rate:
+            budget = diffusion_budget(my_load, parent_load, self._alpha(i, parent))
+            if budget >= p.min_transfer_rate:
                 self._shed(i, budget, now)
 
     def _delegate(self, parent: int, child: int, budget: float, now: float) -> None:
         """Ship copies + targets for the child's hottest forwarded docs."""
-        child_server = self.servers[child]
-        parent_server = self.servers[parent]
-        moved = 0.0
-        for doc_id, rate in child_server.forwarded_documents(now):
-            if moved >= budget - _EPS:
-                break
-            if not parent_server.caches(doc_id):
-                continue
-            x = min(rate, budget - moved)
-            if x < self.protocol.min_transfer_rate:
-                continue
-            moved += x
+        state = self.state
+        parent_caches = state.cached[parent]
+        doc_index = state.doc_index
+        picks = greedy_delegate(
+            budget,
+            state.forwarded_documents(child, now),
+            self.protocol.min_transfer_rate,
+            can_ship=lambda doc_id: doc_index[doc_id] in parent_caches,
+        )
+        is_home = parent == self._root
+        for doc_id, x in picks:
             self._ship_copy(parent, child, doc_id, x, now)
             # the parent expects the child to take over this slice of work:
             # lower its own target for the document correspondingly
-            own = parent_server.serve_targets.get(doc_id, 0.0)
-            if own > _EPS and not parent_server.is_home:
-                parent_server.serve_targets[doc_id] = max(own - x, 0.0)
-        if moved > _EPS:
+            d = doc_index[doc_id]
+            own = state.targets[parent, d] if state.has_target[parent, d] else 0.0
+            if own > _EPS and not is_home:
+                state.targets[parent, d] = max(own - x, 0.0)
+                state.has_target[parent, d] = True
+        if picks:
             self._delegated_to[child] = True
 
     def _ship_copy(self, src: int, dst: int, doc_id: str, target_add: float, now: float) -> None:
@@ -195,81 +275,103 @@ class WebWaveScenario(Scenario):
             delay += doc.size / link_bw
 
         def install() -> None:
-            server = self.servers[dst]
-            if server.failed:
+            state = self.state
+            if state.failed[dst]:
                 return  # the copy is lost with the crashed server
-            server.install_copy(doc_id)
-            server.serve_targets[doc_id] = (
-                server.serve_targets.get(doc_id, 0.0) + target_add
-            )
+            state.install_copy(dst, doc_id)
+            d = state.doc_index[doc_id]
+            base = state.targets[dst, d] if state.has_target[dst, d] else 0.0
+            state.targets[dst, d] = base + target_add
+            state.has_target[dst, d] = True
             self.routers[dst].sync_filter()
 
-        self.sim.after(delay, install)
+        self._schedule_control(delay, install)
 
     def _pull(self, node: int, budget: float, now: float) -> None:
         """Underloaded node raises targets on documents it already caches."""
-        server = self.servers[node]
-        moved = 0.0
-        for doc_id, rate in server.forwarded_documents(now):
-            if moved >= budget - _EPS:
-                break
-            if not server.caches(doc_id):
-                continue
-            x = min(rate, budget - moved)
-            server.serve_targets[doc_id] = server.serve_targets.get(doc_id, 0.0) + x
-            moved += x
+        state = self.state
+        cached = state.cached[node]
+        doc_index = state.doc_index
+        picks = greedy_pull(
+            budget,
+            state.forwarded_documents(node, now),
+            caches=lambda doc_id: doc_index[doc_id] in cached,
+        )
+        for doc_id, x in picks:
+            d = doc_index[doc_id]
+            base = state.targets[node, d] if state.has_target[node, d] else 0.0
+            state.targets[node, d] = base + x
+            state.has_target[node, d] = True
 
     def _shed(self, node: int, budget: float, now: float) -> None:
         """Overloaded node lowers targets; zero-target copies are dropped."""
-        server = self.servers[node]
-        shed = 0.0
+        state = self.state
+        store = state.stores[node]
         targets = sorted(
-            server.serve_targets.items(), key=lambda kv: kv[1], reverse=True
+            self.servers[node].serve_targets.items(),
+            key=lambda kv: kv[1],
+            reverse=True,
         )
         dropped = False
-        for doc_id, target in targets:
-            if shed >= budget - _EPS:
-                break
-            x = min(target, budget - shed)
-            remaining = target - x
-            shed += x
-            if remaining <= _EPS and not server.store.is_pinned(doc_id):
-                server.drop_copy(doc_id)
+        for doc_id, x, remaining in greedy_shed(budget, targets):
+            if remaining <= _EPS and not store.is_pinned(doc_id):
+                state.drop_copy(node, doc_id)
                 dropped = True
             else:
-                server.serve_targets[doc_id] = remaining
+                d = state.doc_index[doc_id]
+                state.targets[node, d] = remaining
+                state.has_target[node, d] = True
         if dropped:
             self.routers[node].sync_filter()
 
     # ------------------------------------------------------------------
     # Barriers and tunneling (Section 5.2)
     # ------------------------------------------------------------------
-    def _update_stagnation(self, now: float) -> None:
-        for node in self.tree:
-            parent = self.tree.parent(node)
-            if parent is None:
-                continue
-            my_load = self.servers[node].served_rate(now)
-            parent_load = self.load_estimates[node].get(parent, 0.0)
-            underloaded = my_load + self.protocol.min_transfer_rate < parent_load
-            forwarding = self.servers[node].forwarded_rate(now) > _EPS
-            if underloaded and forwarding and not self._delegated_to[node]:
-                self._stagnant[node] += 1
-            else:
-                self._stagnant[node] = 0
+    def _update_stagnation(self, loads: np.ndarray, now: float) -> None:
+        """Advance the per-node stagnation counters (Section 5.2).
 
-    def _check_barriers(self, now: float) -> None:
-        self._update_stagnation(now)
-        for node in self.tree:
-            if self._stagnant[node] > self.protocol.patience:
+        Vectorized candidate selection: a node's counter can only change
+        if it is underloaded relative to its parent view (counter may
+        rise) or its counter is already non-zero (it may reset), so only
+        that union is visited; the per-document forwarded-rate check runs
+        only for nodes that pass the cheap tests.
+        """
+        state = self.state
+        stagnant = self._stagnant
+        delegated = self._delegated_to
+        min_transfer = self.protocol.min_transfer_rate
+        underloaded = self._view_parent > loads + min_transfer
+        underloaded[self._root] = False
+        candidates = set(np.flatnonzero(underloaded).tolist())
+        candidates.update(self._stagnant_nodes)
+        for node in sorted(candidates):
+            if (
+                underloaded[node]
+                and not delegated[node]
+                and state.forwarded_rate(node, now) > _EPS
+            ):
+                stagnant[node] += 1
+                self._stagnant_nodes.add(node)
+            else:
+                stagnant[node] = 0
+                self._stagnant_nodes.discard(node)
+
+    def _check_barriers(self, loads: np.ndarray, now: float) -> None:
+        self._update_stagnation(loads, now)
+        patience = self.protocol.patience
+        for node in sorted(self._stagnant_nodes):
+            if self._stagnant[node] > patience:
                 if self._tunnel(node, now):
                     self._stagnant[node] = 0
+                    self._stagnant_nodes.discard(node)
 
     def _tunnel(self, node: int, now: float) -> bool:
         """Fetch the hottest forwarded document from across the barrier."""
-        server = self.servers[node]
-        for doc_id, rate in server.forwarded_documents(now):
-            if server.caches(doc_id):
+        state = self.state
+        cached = state.cached[node]
+        doc_index = state.doc_index
+        for doc_id, rate in state.forwarded_documents(node, now):
+            if doc_index[doc_id] in cached:
                 continue
             source = self._nearest_ancestor_with(node, doc_id)
             if source is None:
@@ -283,7 +385,7 @@ class WebWaveScenario(Scenario):
                 bws = []
                 u = node
                 while u != source:
-                    p = self.tree.parent(u)
+                    p = self._parent[u]
                     bw = self.topology.link(u, p).bandwidth
                     if bw:
                         bws.append(bw)
@@ -291,23 +393,27 @@ class WebWaveScenario(Scenario):
                 if bws:
                     delay += doc.size / min(bws)
 
-            def install(doc_id=doc_id, rate=rate) -> None:
-                if server.failed:
+            def install(doc_id=doc_id, rate=rate, node=node) -> None:
+                if state.failed[node]:
                     return
-                server.install_copy(doc_id)
-                server.serve_targets[doc_id] = (
-                    server.serve_targets.get(doc_id, 0.0) + rate
-                )
+                state.install_copy(node, doc_id)
+                d = state.doc_index[doc_id]
+                base = state.targets[node, d] if state.has_target[node, d] else 0.0
+                state.targets[node, d] = base + rate
+                state.has_target[node, d] = True
                 self.routers[node].sync_filter()
 
-            self.sim.after(delay, install)
+            self._schedule_control(delay, install)
             return True
         return False
 
     def _nearest_ancestor_with(self, node: int, doc_id: str) -> Optional[int]:
-        u = self.tree.parent(node)
-        while u is not None:
-            if self.servers[u].caches(doc_id):
+        d = self.state.doc_index[doc_id]
+        cached = self.state.cached
+        u = self._parent[node]
+        while True:
+            if d in cached[u]:
                 return u
-            u = self.tree.parent(u)
-        return None
+            if u == self._root:
+                return None
+            u = self._parent[u]

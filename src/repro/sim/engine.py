@@ -7,7 +7,13 @@ simulations (:mod:`repro.protocols`).  Design points:
   increasing tie-breaker, so runs are fully deterministic for a fixed seed
   and schedule order.
 * Scheduling returns an :class:`EventHandle` that can be cancelled
-  (cancellation is lazy: the heap entry is skipped when popped).
+  (cancellation is lazy: the heap entry is skipped when popped).  When
+  cancelled-but-unpopped entries outnumber live ones the heap is compacted
+  in place, so workloads that cancel many timers (rate changes, retires)
+  cannot grow the heap without bound.
+* :meth:`Simulator.post` is the allocation-free fast path for events that
+  will never be cancelled - the packet datapath schedules hundreds of
+  thousands of arrival/serve/completion events through it.
 * Recurring timers (:meth:`Simulator.every`) drive the protocol's two
   periodic activities - the *gossip period* and the *diffusion period*
   (Section 5: "WebWave servers would have two parameters: the gossip period,
@@ -19,23 +25,35 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 __all__ = ["Simulator", "EventHandle", "SimulationError"]
+
+# Compaction fires only when the heap is at least this large *and* mostly
+# cancelled; small simulations never pay for it.
+_COMPACT_MIN = 64
 
 
 class SimulationError(RuntimeError):
     """Raised on scheduling into the past or running a corrupted queue."""
 
 
-@dataclass
 class EventHandle:
     """Handle to a scheduled event; supports cancellation and inspection."""
 
-    time: float
-    seq: int
-    callback: Optional[Callable[[], None]]
+    __slots__ = ("time", "seq", "callback", "_sim")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Optional[Callable[[], None]],
+        sim: Optional["Simulator"] = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self._sim = sim
 
     @property
     def cancelled(self) -> bool:
@@ -43,7 +61,11 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing (idempotent)."""
+        if self.callback is None:
+            return
         self.callback = None
+        if self._sim is not None:
+            self._sim._note_cancel()
 
 
 class Simulator:
@@ -59,7 +81,10 @@ class Simulator:
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = itertools.count()
-        self._heap: List[Tuple[float, int, int, EventHandle]] = []
+        # Heap entries are (time, priority, seq, item) where item is either
+        # an EventHandle (cancellable) or a bare callable (fast path).
+        self._heap: List[Tuple[float, int, int, object]] = []
+        self._cancelled = 0
         self._events_executed = 0
         self._running = False
 
@@ -77,9 +102,18 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued."""
-        return sum(1 for _, _, _, h in self._heap if not h.cancelled)
+        return len(self._heap) - self._cancelled
 
     # ------------------------------------------------------------------
+    def _check_time(self, time: float) -> float:
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f} before now={self._now:.6f}"
+            )
+        if not math.isfinite(time):
+            raise SimulationError(f"non-finite event time {time}")
+        return max(time, self._now)
+
     def at(
         self, time: float, callback: Callable[[], None], priority: int = 0
     ) -> EventHandle:
@@ -88,14 +122,9 @@ class Simulator:
         Lower ``priority`` fires first among same-time events; equal
         priorities fire in scheduling order.
         """
-        if time < self._now - 1e-12:
-            raise SimulationError(
-                f"cannot schedule at t={time:.6f} before now={self._now:.6f}"
-            )
-        if not math.isfinite(time):
-            raise SimulationError(f"non-finite event time {time}")
-        handle = EventHandle(time=max(time, self._now), seq=next(self._seq), callback=callback)
-        heapq.heappush(self._heap, (handle.time, priority, handle.seq, handle))
+        time = self._check_time(time)
+        handle = EventHandle(time=time, seq=next(self._seq), callback=callback, sim=self)
+        heapq.heappush(self._heap, (time, priority, handle.seq, handle))
         return handle
 
     def after(
@@ -105,6 +134,32 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         return self.at(self._now + delay, callback, priority)
+
+    def post(
+        self, time: float, callback: Callable[[], None], priority: int = 0
+    ) -> None:
+        """Schedule a *non-cancellable* event at absolute time ``time``.
+
+        Identical ordering semantics to :meth:`at` (same seq counter, same
+        tie-breaking) but without allocating a handle - the hot path for
+        the packet datapath's per-request events.
+        """
+        now = self._now
+        if time >= now and time < math.inf:  # excludes NaN and +inf
+            heapq.heappush(self._heap, (time, priority, next(self._seq), callback))
+            return
+        time = self._check_time(time)  # raises, or clamps the epsilon-past case
+        heapq.heappush(self._heap, (time, priority, next(self._seq), callback))
+
+    def claim_seq(self) -> int:
+        """Consume and return the next event sequence number.
+
+        For callers that replace a heap event with deferred batch
+        processing but must preserve the exact (time, priority, seq)
+        ordering the event would have had - e.g. the packet scenario's
+        completion records.
+        """
+        return next(self._seq)
 
     def every(
         self,
@@ -140,15 +195,42 @@ class Simulator:
         return cancel
 
     # ------------------------------------------------------------------
+    # Lazy-cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        self._cancelled += 1
+        if self._cancelled >= _COMPACT_MIN and self._cancelled * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        In place: ``run()`` holds a local reference to the heap list while
+        draining it, so the list object must never be replaced.
+        """
+        self._heap[:] = [
+            entry
+            for entry in self._heap
+            if not (entry[3].__class__ is EventHandle and entry[3].callback is None)
+        ]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+
+    # ------------------------------------------------------------------
     def step(self) -> bool:
         """Execute the single next event; False if the queue is empty."""
-        while self._heap:
-            time, _, _, handle = heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
+        heap = self._heap
+        while heap:
+            time, _, _, item = heapq.heappop(heap)
+            if item.__class__ is EventHandle:
+                callback = item.callback
+                if callback is None:
+                    self._cancelled -= 1
+                    continue
+                item.callback = None
+            else:
+                callback = item
             self._now = time
-            callback = handle.callback
-            handle.callback = None
             callback()
             self._events_executed += 1
             return True
@@ -164,16 +246,19 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        heap = self._heap
         executed = 0
         try:
-            while self._heap:
+            while heap:
                 if max_events is not None and executed >= max_events:
                     return
-                time, _, _, handle = self._heap[0]
-                if handle.cancelled:
-                    heapq.heappop(self._heap)
+                entry = heap[0]
+                item = entry[3]
+                if item.__class__ is EventHandle and item.callback is None:
+                    heapq.heappop(heap)
+                    self._cancelled -= 1
                     continue
-                if until is not None and time > until:
+                if until is not None and entry[0] > until:
                     break
                 self.step()
                 executed += 1

@@ -8,7 +8,7 @@ from typing import List, Optional, Tuple
 __all__ = ["Request"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """One client request for a document, traced through the network.
 

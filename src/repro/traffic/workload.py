@@ -15,9 +15,44 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from ..core.tree import RoutingTree
 from ..documents.catalog import Catalog
 from ..documents.popularity import ZipfPopularity
-from .arrivals import ArrivalProcess, ConstantArrivals, PoissonArrivals
+from .arrivals import (
+    ArrivalProcess,
+    ConstantArrivals,
+    ParetoOnOffArrivals,
+    PoissonArrivals,
+)
 
-__all__ = ["Workload", "WorkloadError", "hot_document_workload"]
+__all__ = ["Workload", "WorkloadError", "hot_document_workload", "ARRIVAL_KINDS"]
+
+
+def _poisson_process(rate: float, streams, node: int, doc_id: str) -> ArrivalProcess:
+    return PoissonArrivals(rate, streams.get("arrivals", node=node, doc=doc_id))
+
+
+def _constant_process(rate: float, streams, node: int, doc_id: str) -> ArrivalProcess:
+    return ConstantArrivals(rate)
+
+
+def _pareto_process(rate: float, streams, node: int, doc_id: str) -> ArrivalProcess:
+    # Defaults give a 1/3 duty cycle; the burst rate is scaled so the
+    # long-run mean matches the workload's specified rate.
+    mean_on, mean_off = 1.0, 2.0
+    burst = rate * (mean_on + mean_off) / mean_on
+    return ParetoOnOffArrivals(
+        burst,
+        streams.get("arrivals", node=node, doc=doc_id),
+        mean_on=mean_on,
+        mean_off=mean_off,
+    )
+
+
+# kind -> builder(rate, streams, node, doc_id); ScenarioConfig validates its
+# arrival_kind against this registry at construction time.
+ARRIVAL_KINDS = {
+    "poisson": _poisson_process,
+    "constant": _constant_process,
+    "pareto": _pareto_process,
+}
 
 
 class WorkloadError(ValueError):
@@ -119,20 +154,22 @@ class Workload:
     ) -> Dict[Tuple[int, str], ArrivalProcess]:
         """One arrival process per (node, document) source.
 
-        ``kind`` selects ``"poisson"`` or ``"constant"`` arrivals; each
+        ``kind`` selects an entry of :data:`ARRIVAL_KINDS` (``"poisson"``,
+        ``"constant"``, or the bursty ``"pareto"`` on/off process); each
         source gets its own RNG stream so workloads are reproducible and
         sources independent.
         """
-        processes: Dict[Tuple[int, str], ArrivalProcess] = {}
-        for node, doc_id, rate in self.items():
-            if kind == "poisson":
-                rng = streams.get("arrivals", node=node, doc=doc_id)
-                processes[(node, doc_id)] = PoissonArrivals(rate, rng)
-            elif kind == "constant":
-                processes[(node, doc_id)] = ConstantArrivals(rate)
-            else:
-                raise WorkloadError(f"unknown arrival kind {kind!r}")
-        return processes
+        try:
+            build = ARRIVAL_KINDS[kind]
+        except KeyError:
+            known = ", ".join(sorted(ARRIVAL_KINDS))
+            raise WorkloadError(
+                f"unknown arrival kind {kind!r}; known kinds: {known}"
+            ) from None
+        return {
+            (node, doc_id): build(rate, streams, node, doc_id)
+            for node, doc_id, rate in self.items()
+        }
 
 
 def hot_document_workload(

@@ -139,6 +139,110 @@ class TestRunLimits:
         assert error
 
 
+class TestCancellationCompaction:
+    """Lazy cancellation must not grow the heap without bound."""
+
+    def test_heap_compacts_when_mostly_cancelled(self):
+        sim = Simulator()
+        live = [sim.at(float(i + 1), lambda: None) for i in range(10)]
+        cancelled = [sim.at(1000.0 + i, lambda: None) for i in range(5000)]
+        for handle in cancelled:
+            handle.cancel()
+        # cancelled entries outnumber live ones, so the heap was rebuilt
+        assert len(sim._heap) < 100
+        assert sim.pending == 10
+        sim.run()
+        assert sim.events_executed == 10
+
+    def test_long_run_with_many_cancelled_timers_bounded(self):
+        # the regression shape: a long simulation where recurring work
+        # keeps scheduling-and-cancelling (rate changes, retries)
+        sim = Simulator()
+        fired = [0]
+
+        def tick():
+            fired[0] += 1
+            doomed = [sim.at(sim.now + 50.0, lambda: None) for _ in range(20)]
+            for handle in doomed:
+                handle.cancel()
+            if sim.now < 1000.0:
+                sim.at(sim.now + 1.0, tick)
+
+        sim.at(1.0, tick)
+        sim.run(until=1001.0)
+        assert fired[0] == 1000
+        # 20k cancelled entries passed through; the live heap stays tiny
+        assert len(sim._heap) < 200
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        log = []
+        handle = sim.at(1.0, lambda: log.append(1))
+        sim.run()
+        handle.cancel()  # already fired: callback is None, nothing counted
+        handle.cancel()
+        assert log == [1]
+        assert sim.pending == 0
+
+    def test_pending_is_exact_after_mixed_cancels(self):
+        sim = Simulator()
+        handles = [sim.at(float(i + 1), lambda: None) for i in range(6)]
+        for handle in handles[::2]:
+            handle.cancel()
+        assert sim.pending == 3
+
+
+class TestPostFastPath:
+    def test_post_orders_with_at(self):
+        sim = Simulator()
+        log = []
+        sim.at(1.0, lambda: log.append("at"))
+        sim.post(1.0, lambda: log.append("post"))
+        sim.at(1.0, lambda: log.append("at2"))
+        sim.run()
+        # same seq counter: strict scheduling order at equal times
+        assert log == ["at", "post", "at2"]
+
+    def test_post_rejects_past_and_non_finite(self):
+        sim = Simulator()
+        sim.at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError, match="before now"):
+            sim.post(1.0, lambda: None)
+        with pytest.raises(SimulationError, match="non-finite"):
+            sim.post(float("inf"), lambda: None)
+        with pytest.raises(SimulationError, match="non-finite"):
+            sim.post(float("nan"), lambda: None)
+
+    def test_claim_seq_preserves_tie_order(self):
+        sim = Simulator()
+        first = sim.claim_seq()
+        sim.post(1.0, lambda: None)
+        assert sim.claim_seq() > first + 1
+
+
+class TestSchedulingIntoThePast:
+    def test_at_rejects_past_after_advance(self):
+        sim = Simulator()
+        sim.at(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError, match="before now"):
+            sim.at(1.999, lambda: None)
+
+    def test_epsilon_past_clamps_to_now(self):
+        sim = Simulator()
+        sim.at(1.0, lambda: sim.at(sim.now - 1e-13, lambda: None))
+        sim.run()
+        assert sim.now == 1.0
+
+    def test_after_from_within_event(self):
+        sim = Simulator()
+        times = []
+        sim.at(1.0, lambda: sim.after(0.0, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [1.0]
+
+
 class TestPeriodic:
     def test_every_fires_at_period(self):
         sim = Simulator()
@@ -165,6 +269,26 @@ class TestPeriodic:
     def test_bad_period(self):
         with pytest.raises(SimulationError):
             Simulator().every(0.0, lambda: None)
+
+    def test_two_timers_at_equal_timestamps_fire_in_install_order(self):
+        # timers that collide (period 1.0 vs 0.5 starting at 0.5) must fire
+        # in the order they were installed, at every shared timestamp
+        sim = Simulator()
+        log = []
+        sim.every(1.0, lambda: log.append("a"))
+        sim.every(0.5, lambda: log.append("b"), start=0.5)
+        sim.run(until=3.0)
+        # at t=1,2,3 both fire; 'a' was installed first so it leads, and
+        # rescheduling preserves that seq ordering forever
+        assert log == ["b", "a", "b", "b", "a", "b", "b", "a", "b"]
+
+    def test_every_and_at_tie_order(self):
+        sim = Simulator()
+        log = []
+        sim.every(1.0, lambda: log.append("timer"))
+        sim.at(1.0, lambda: log.append("oneshot"))
+        sim.run(until=1.0)
+        assert log == ["timer", "oneshot"]
 
     def test_cascading_events_deterministic(self):
         # two runs with identical schedules produce identical traces

@@ -112,3 +112,44 @@ class TestParetoOnOff:
     def test_invalid_parameters(self, kwargs):
         with pytest.raises(ValueError):
             ParetoOnOffArrivals(rng=random.Random(0), **kwargs)
+
+
+class TestSampleGaps:
+    """Batched sampling is bit-identical to the scalar stream."""
+
+    def test_constant_batch_matches_scalar(self):
+        a = ConstantArrivals(4.0)
+        b = ConstantArrivals(4.0)
+        batched = a.sample_gaps(10)
+        scalar = [b.next_gap() for _ in range(10)]
+        assert batched.tolist() == scalar
+
+    def test_constant_zero_rate_empty(self):
+        assert ConstantArrivals(0.0).sample_gaps(5).size == 0
+
+    @pytest.mark.parametrize("n", [1, 7, 1023, 1024, 5000])
+    def test_poisson_batch_matches_scalar_exactly(self, n):
+        # both sides of the mirror threshold: the scalar loop and the
+        # transplanted-NumPy path must both equal n next_gap() calls
+        a = PoissonArrivals(3.7, random.Random(12345))
+        b = PoissonArrivals(3.7, random.Random(12345))
+        batched = a.sample_gaps(n)
+        scalar = [b.next_gap() for _ in range(n)]
+        assert batched.tolist() == scalar
+
+    def test_poisson_batch_then_scalar_continues_stream(self):
+        # the mirror writes the MT19937 position back, so mixing batched
+        # and scalar draws walks one continuous stream
+        a = PoissonArrivals(2.0, random.Random(99))
+        b = PoissonArrivals(2.0, random.Random(99))
+        mixed = a.sample_gaps(2000).tolist() + [a.next_gap() for _ in range(5)]
+        scalar = [b.next_gap() for _ in range(2005)]
+        assert mixed == scalar
+
+    def test_pareto_batch_matches_scalar(self):
+        a = ParetoOnOffArrivals(20.0, random.Random(7))
+        b = ParetoOnOffArrivals(20.0, random.Random(7))
+        assert a.sample_gaps(500).tolist() == [b.next_gap() for _ in range(500)]
+
+    def test_zero_rate_poisson_empty(self):
+        assert PoissonArrivals(0.0, random.Random(0)).sample_gaps(10).size == 0
