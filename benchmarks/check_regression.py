@@ -1,0 +1,143 @@
+"""Perf-regression guard for the BENCH_*.json trajectories.
+
+The bench suites rewrite ``benchmarks/BENCH_*.json`` in place, so the CI
+smoke jobs snapshot the committed file first, run the benches, and then
+compare::
+
+    cp benchmarks/BENCH_kernels.json /tmp/baseline.json
+    PYTHONPATH=src python -m pytest -q benchmarks/test_bench_kernels.py
+    python benchmarks/check_regression.py /tmp/baseline.json \
+        benchmarks/BENCH_kernels.json
+
+Every *throughput* metric (any numeric entry field whose name contains
+``per_sec`` or equals ``speedup``) present in both files must not fall
+below ``(1 - threshold)`` of its committed value; the default threshold
+of 30% absorbs run-to-run noise while catching real hot-path
+regressions.  Entries or fields that exist on only one side are skipped
+(new benches come and go); a missing or schema-mismatched fresh file is
+an error.
+
+Absolute rates (``*per_sec*``) are machine-dependent: a committed value
+from one machine compared against a slower CI runner would trip the gate
+with unchanged code.  CI therefore passes ``--ratio-only``, which guards
+only the machine-independent *ratio* metrics (``speedup`` - both sides
+of each ratio were measured in the same run on the same machine); the
+full absolute comparison is for like-for-like machines (local A/B runs).
+
+Exit status: 0 = no regression, 1 = regression(s) found, 2 = bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+__all__ = ["throughput_fields", "find_regressions", "main"]
+
+DEFAULT_THRESHOLD = 0.30
+
+
+def throughput_fields(
+    row: dict, ratio_only: bool = False
+) -> Iterator[Tuple[str, float]]:
+    """The (field, value) throughput metrics of one bench entry.
+
+    ``ratio_only`` restricts to machine-independent ratio metrics
+    (``speedup``); otherwise absolute ``*per_sec*`` rates are included.
+    """
+    for key, value in row.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        if key == "speedup" or (not ratio_only and "per_sec" in key):
+            yield key, float(value)
+
+
+def find_regressions(
+    baseline: dict,
+    fresh: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    ratio_only: bool = False,
+) -> List[Tuple[str, str, float, float, float]]:
+    """Compare two BENCH json documents; return the regressed metrics.
+
+    Each finding is ``(entry, field, baseline_value, fresh_value, ratio)``
+    where ``ratio = fresh / baseline`` fell below ``1 - threshold``.
+    """
+    if baseline.get("schema") != fresh.get("schema"):
+        raise ValueError(
+            f"schema mismatch: baseline {baseline.get('schema')!r} "
+            f"vs fresh {fresh.get('schema')!r}"
+        )
+    floor = 1.0 - threshold
+    regressions: List[Tuple[str, str, float, float, float]] = []
+    fresh_entries = fresh.get("entries", {})
+    for name, base_row in baseline.get("entries", {}).items():
+        fresh_row = fresh_entries.get(name)
+        if fresh_row is None:
+            continue  # bench not exercised in this job
+        for field, base_value in throughput_fields(base_row, ratio_only):
+            if base_value <= 0.0 or field not in fresh_row:
+                continue
+            fresh_value = fresh_row[field]
+            if not isinstance(fresh_value, (int, float)):
+                continue
+            ratio = float(fresh_value) / base_value
+            if ratio < floor:
+                regressions.append(
+                    (name, field, base_value, float(fresh_value), ratio)
+                )
+    return regressions
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a freshly recorded BENCH_*.json regresses "
+        "a throughput metric vs the committed baseline."
+    )
+    parser.add_argument("baseline", type=Path, help="committed BENCH json")
+    parser.add_argument("fresh", type=Path, help="freshly recorded BENCH json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional drop (default 0.30 = 30%%)",
+    )
+    parser.add_argument(
+        "--ratio-only",
+        action="store_true",
+        help="guard only machine-independent ratio metrics (speedup); "
+        "use when baseline and fresh runs came from different machines",
+    )
+    args = parser.parse_args(argv)
+    try:
+        baseline = json.loads(args.baseline.read_text())
+        fresh = json.loads(args.fresh.read_text())
+        regressions = find_regressions(
+            baseline, fresh, args.threshold, args.ratio_only
+        )
+    except (OSError, ValueError) as exc:
+        print(f"check_regression: {exc}", file=sys.stderr)
+        return 2
+    if regressions:
+        print(f"{len(regressions)} throughput regression(s) > {args.threshold:.0%}:")
+        for name, field, base, now, ratio in regressions:
+            print(
+                f"  {name}.{field}: {base:.3f} -> {now:.3f} "
+                f"({ratio:.2f}x of baseline)"
+            )
+        return 1
+    compared = sum(
+        1
+        for name, row in baseline.get("entries", {}).items()
+        if name in fresh.get("entries", {})
+        for _ in throughput_fields(row, args.ratio_only)
+    )
+    print(f"check_regression: ok ({compared} throughput metrics within threshold)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

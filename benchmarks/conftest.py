@@ -23,6 +23,7 @@ REPORT_DIR = pathlib.Path(__file__).parent / "reports"
 BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_kernels.json"
 BENCH_CLUSTER_JSON = pathlib.Path(__file__).parent / "BENCH_cluster.json"
 BENCH_PACKET_JSON = pathlib.Path(__file__).parent / "BENCH_packet.json"
+BENCH_ADAPTIVE_JSON = pathlib.Path(__file__).parent / "BENCH_adaptive.json"
 
 
 @pytest.fixture
@@ -66,6 +67,12 @@ def cluster_record():
 def packet_record():
     """Merge one named entry into benchmarks/BENCH_packet.json."""
     return _make_recorder(BENCH_PACKET_JSON, "bench-packet/v1")
+
+
+@pytest.fixture
+def adaptive_record():
+    """Merge one named entry into benchmarks/BENCH_adaptive.json."""
+    return _make_recorder(BENCH_ADAPTIVE_JSON, "bench-adaptive/v1")
 
 
 def run_once(benchmark, fn, *args, **kwargs):

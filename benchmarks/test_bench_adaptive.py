@@ -1,0 +1,55 @@
+"""Adaptive stepping benchmarks: activity-scaled cost, bit-exactness pinned.
+
+Records the ``bench-adaptive/v1`` rows of the ``adaptive-scalability``
+experiment (:mod:`repro.experiments.adaptive`) in
+``benchmarks/BENCH_adaptive.json``:
+
+* rate plane - active-set :class:`~repro.core.kernel.SyncEngine` vs the
+  dense round on skewed demand at n = 10^5 and 10^6, same round count on
+  both sides, final loads bit-identical;
+* cluster plane - steady-state catalog ticks (D = 1000, 5% of documents
+  churning) with cohort freezing vs an ``adaptive=False`` twin driven
+  through the same churn schedule from the same settled state.
+
+The acceptance gates live here: >= 5x convergence wall clock at n = 10^5
+and >= 10x steady-state cluster tick throughput, with parity asserted in
+every row - a speedup that costs a single ulp anywhere fails the bench.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.adaptive import run_adaptive_scalability
+
+
+def test_bench_adaptive_scalability(benchmark, save_report, adaptive_record):
+    """Active-set speedups across the rate and cluster planes."""
+    result = run_once(benchmark, run_adaptive_scalability)
+    save_report("adaptive_scalability", result.report())
+    for name, payload in result.as_json().items():
+        adaptive_record(name, payload)
+
+    # Exactness is non-negotiable: every row must be bit-identical.
+    for row in (*result.rate_rows, *result.cluster_rows):
+        assert row.parity_bit_identical, row
+
+    # Rate plane: >= 5x end-to-end convergence wall clock at n = 10^5
+    # (measured ~13x here; the floor absorbs CI noise).
+    by_nodes = {r.nodes: r for r in result.rate_rows}
+    assert 100_000 in by_nodes, "missing the n=1e5 acceptance row"
+    assert by_nodes[100_000].speedup >= 5.0, by_nodes[100_000]
+    # The n=1e6 row demonstrates the win survives another decade of scale.
+    if 1_000_000 in by_nodes:
+        assert by_nodes[1_000_000].speedup >= 3.0, by_nodes[1_000_000]
+    # The frontier must actually have localized the work.
+    for row in result.rate_rows:
+        assert row.mean_active_edges < 0.2 * row.nodes, row
+
+    # Cluster plane: >= 10x steady-state tick throughput at D=1000 with
+    # 5% of documents churning (measured ~20-40x here).
+    steady = result.cluster_rows[0]
+    assert steady.documents == 1000
+    assert steady.churn_fraction == 0.05
+    assert steady.frozen_fraction >= 1.0 - steady.churn_fraction - 1e-9
+    assert steady.speedup >= 10.0, steady

@@ -47,10 +47,14 @@ def test_bench_webfold(benchmark, n):
 
 @pytest.mark.parametrize("n", [1000, 10000])
 def test_bench_kernel_round(benchmark, bench_record, n):
-    """One vectorized Figure 5 round (the SyncEngine hot path)."""
+    """One vectorized *dense* Figure 5 round (the SyncEngine hot path).
+
+    adaptive=False keeps this row measuring the dense kernel across PRs;
+    the active-set path has its own BENCH_adaptive.json record.
+    """
     tree, rates = _tree_and_rates(n)
     flat = flatten(tree)
-    engine = SyncEngine(flat, rates, rates, degree_edge_alphas(flat))
+    engine = SyncEngine(flat, rates, rates, degree_edge_alphas(flat), adaptive=False)
     benchmark(engine.step)
     bench_record(
         f"kernel_round_n{n}",

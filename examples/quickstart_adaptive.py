@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Quickstart for adaptive (active-set) stepping: n = 100,000 servers.
+
+The paper's locality claim - diffusion only works where the load gradient
+is non-flat - becomes a performance property here: demand is confined to
+one subtree covering ~2% of a 100,000-server tree, and the adaptive
+:class:`~repro.core.kernel.SyncEngine` keeps an explicit *frontier* of
+edges that can still move mass.  After one dense discovery round the
+frontier collapses to the demand closure, every subsequent round costs
+O(frontier) instead of O(n), and the trajectory stays **bit-identical**
+to the dense engine's (verified live at the end).
+
+The same run shows the cluster-plane counterpart: a small settled catalog
+whose cohorts freeze (zero array ops per tick) until a lifecycle event
+wakes exactly the touched cohort.
+
+Run:  python examples/quickstart_adaptive.py        (~15 seconds)
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import numpy as np
+
+from repro.core.kernel import SyncEngine, degree_edge_alphas, flatten
+from repro.core.tree import kary_tree, random_tree
+from repro.experiments.adaptive import skewed_demand
+
+
+def rate_plane() -> None:
+    n = 100_000
+    print(f"Building a random {n:,}-server routing tree ...")
+    tree = random_tree(n, random.Random(7))
+    rates = skewed_demand(tree, hot_fraction=0.02, seed=7)
+    hot = int(np.count_nonzero(rates))
+    flat = flatten(tree)
+    alphas = degree_edge_alphas(flat)
+    print(f"Skewed demand: {hot:,} hot servers ({hot / n:.1%} of the tree)\n")
+
+    sparse = SyncEngine(flat, rates, rates, alphas)  # adaptive by default
+    rounds = 600
+    start = time.perf_counter()
+    checkpoints = {1, 10, 100, rounds}
+    for r in range(1, rounds + 1):
+        sparse.step()
+        if r in checkpoints:
+            print(
+                f"  round {r:>4}: frontier {sparse.frontier_size:>7,} edges "
+                f"({sparse.frontier_size / (n - 1):.2%} of the tree)"
+            )
+    sparse_s = time.perf_counter() - start
+
+    dense = SyncEngine(flat, rates, rates, alphas, adaptive=False)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        dense.step()
+    dense_s = time.perf_counter() - start
+
+    stats = sparse.step_stats
+    print(f"\n{rounds} rounds, adaptive : {sparse_s:.2f}s "
+          f"({stats['sparse_rounds']} sparse, {stats['dense_rounds']} dense)")
+    print(f"{rounds} rounds, dense    : {dense_s:.2f}s")
+    print(f"Speedup              : {dense_s / sparse_s:.1f}x")
+    print(f"Bit-identical loads  : {np.array_equal(sparse.loads, dense.loads)}")
+
+
+def cluster_plane() -> None:
+    from repro.cluster.runtime import ClusterRuntime
+
+    tree = kary_tree(2, 6)  # 127 servers
+    leaves = tree.leaves()
+
+    def rates_at(*pairs):
+        rates = [0.0] * tree.n
+        for leaf, value in pairs:
+            rates[leaf] = value
+        return rates
+
+    runtime = ClusterRuntime({0: tree})
+    runtime.publish("alpha", 0, rates_at((leaves[0], 8.0), (leaves[1], 4.0)))
+    runtime.publish("beta", 0, rates_at((leaves[-1], 16.0)))
+    print("\nSettling a 2-cohort catalog on a 127-server tree ...")
+    while runtime.active_cohort_count > 0 and runtime.tick_count < 20000:
+        runtime.tick()
+    print(
+        f"  frozen after {runtime.tick_count} ticks: "
+        f"{runtime.frozen_documents()}/{runtime.documents} documents, "
+        f"snapshot frozen% = {runtime.snapshot().frozen_fraction:.0%}"
+    )
+    runtime.set_rates("alpha", rates_at((leaves[0], 2.0), (leaves[1], 10.0)))
+    print(
+        f"  set_rates('alpha') wakes exactly "
+        f"{runtime.active_cohort_count}/{runtime.cohort_count} cohorts"
+    )
+    runtime.tick()
+
+
+def main() -> None:
+    rate_plane()
+    cluster_plane()
+
+
+if __name__ == "__main__":
+    main()

@@ -46,10 +46,11 @@ contiguous array views.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from ..core.frontier import batch_incident_edges, sorted_unique
 from ..core.kernel import (
     FlatTree,
     degree_edge_alphas,
@@ -134,6 +135,16 @@ class BatchEngine:
     transfer configuration of :class:`~repro.core.kernel.SyncEngine` - the
     configuration every catalog-scale run uses.  The weighted / stale /
     quantized variants remain per-document concerns.
+
+    Adaptive stepping (``adaptive=True``, the default) keeps the active
+    frontier of :mod:`repro.core.frontier` in the flattened
+    ``document * edge`` index space: a sparse round gathers only the
+    ``(doc, edge)`` pairs that can still move mass, bit-identical to the
+    dense round for the same reason the kernel's sparse path is.  The
+    frontier empties exactly when every document in the stack sits at its
+    floating-point fixed point - the engine is then *quiescent* and the
+    cluster runtime drops the whole cohort from the tick loop until a
+    lifecycle event (which resets the frontier) touches it again.
     """
 
     __slots__ = (
@@ -149,6 +160,13 @@ class BatchEngine:
         "_lo",
         "_hi",
         "_d1",
+        "_l2",
+        "_adaptive",
+        "_density",
+        "_active",
+        "_op_count",
+        "_dense_rounds",
+        "_sparse_rounds",
     )
 
     def __init__(
@@ -157,6 +175,9 @@ class BatchEngine:
         spontaneous,
         initial_served=None,
         edge_alpha: Optional[np.ndarray] = None,
+        *,
+        adaptive: bool = True,
+        density_threshold: float = 0.5,
     ) -> None:
         self.flat = flat
         n = flat.n
@@ -181,6 +202,12 @@ class BatchEngine:
         self._contig = flat.root == 0
         self._fwd = batch_forwarded_rates(flat, self._e, self._loads)
         self._round = 0
+        self._adaptive = bool(adaptive)
+        self._density = float(density_threshold)
+        self._active: Optional[np.ndarray] = None  # None = everything active
+        self._op_count = 0
+        self._dense_rounds = 0
+        self._sparse_rounds = 0
         self._alloc_scratch()
 
     def _alloc_scratch(self) -> None:
@@ -193,6 +220,7 @@ class BatchEngine:
         self._lo = np.empty((d, m))
         self._hi = np.empty((d, m))
         self._d1 = np.empty((d, n))
+        self._l2 = np.empty((d, n))  # ping-pong buffer for the new loads
 
     # -- read-only views -------------------------------------------------
     @property
@@ -209,8 +237,53 @@ class BatchEngine:
         return self._round
 
     @property
+    def adaptive(self) -> bool:
+        """Whether the active-set (sparse) stepping path is enabled."""
+        return self._adaptive
+
+    @property
+    def frontier_size(self) -> int:
+        """Active ``(doc, edge)`` pairs (everything before the first round)."""
+        if self._active is None:
+            return self._loads.shape[0] * max(self.flat.n - 1, 0)
+        return int(self._active.size)
+
+    @property
+    def quiescent(self) -> bool:
+        """True when the frontier is empty: every further tick is a no-op.
+
+        Only an adaptive engine ever becomes quiescent; lifecycle
+        mutations (:meth:`add_documents`, :meth:`remove_documents`,
+        :meth:`resettle`, :meth:`resettle_rows`) always reset the frontier.
+        """
+        return self._active is not None and self._active.size == 0
+
+    @property
+    def op_count(self) -> int:
+        """Total ``(doc, edge)`` transfer evaluations across all rounds.
+
+        The op-count hook the freeze tests assert on: a frozen cohort's
+        engine must stop accumulating ops entirely.
+        """
+        return self._op_count
+
+    @property
+    def step_stats(self) -> Dict[str, int]:
+        """Dense/sparse round counts and the op-count hook value."""
+        return {
+            "dense_rounds": self._dense_rounds,
+            "sparse_rounds": self._sparse_rounds,
+            "ops": self._op_count,
+        }
+
+    @property
     def loads(self) -> np.ndarray:
-        """Current ``(D, n)`` served loads (a live view; do not mutate)."""
+        """Current ``(D, n)`` served loads.
+
+        A snapshot valid only until the next :meth:`step`: rounds swap
+        the underlying buffer (ping-pong), so re-read the property after
+        stepping instead of holding a reference.  Do not mutate.
+        """
         return self._loads
 
     @property
@@ -250,6 +323,7 @@ class BatchEngine:
         self._fwd = np.concatenate(
             [self._fwd, batch_forwarded_rates(self.flat, e, served)]
         )
+        self._active = None
         self._alloc_scratch()
         return range(first, first + e.shape[0])
 
@@ -263,6 +337,7 @@ class BatchEngine:
         self._e = np.delete(self._e, rows, axis=0)
         self._loads = np.delete(self._loads, rows, axis=0)
         self._fwd = np.delete(self._fwd, rows, axis=0)
+        self._active = None
         self._alloc_scratch()
         return removed
 
@@ -275,6 +350,7 @@ class BatchEngine:
         self._e = rates_arr
         self._loads = batch_resettle_served(self.flat, rates_arr, self._loads)
         self._fwd = batch_forwarded_rates(self.flat, rates_arr, self._loads)
+        self._active = None
 
     def resettle_rows(self, rows: Sequence[int], rates) -> None:
         """Swap the rates of a subset of documents, clamping their loads."""
@@ -287,16 +363,36 @@ class BatchEngine:
         self._fwd[rows] = batch_forwarded_rates(
             self.flat, rates_arr, self._loads[rows]
         )
+        self._active = None
 
     # -- the round ---------------------------------------------------------
     def step(self) -> None:
-        """One synchronous diffusion round for every document at once."""
+        """One synchronous diffusion round for every document at once.
+
+        Sparse over the active ``(doc, edge)`` frontier when it is small
+        enough, dense otherwise - bit-identical either way.
+        """
         flat = self.flat
         n = flat.n
         d = self._loads.shape[0]
         if n <= 1 or d == 0:
+            # Nothing can ever move (no edges / no documents): quiesce.
+            if self._adaptive and self._active is None:
+                self._active = np.zeros(0, dtype=np.intp)
             self._round += 1
             return
+        if self._adaptive:
+            active = self._active
+            if active is not None and active.size <= self._density * d * (n - 1):
+                self._step_sparse(active)
+                return
+        self._step_dense(track=self._adaptive)
+
+    def _step_dense(self, track: bool) -> None:
+        flat = self.flat
+        n = flat.n
+        d = self._loads.shape[0]
+        m = n - 1
         loads, fwd, t = self._loads, self._fwd, self._t
         ep = flat.edge_parent
         if self._contig:
@@ -323,21 +419,130 @@ class BatchEngine:
             d1[:, flat.edge_child] = t
         d2 = np.bincount(self._iep, weights=t.ravel(), minlength=d * n)
         np.subtract(d1, d2.reshape(d, n), out=d1)
-        np.add(loads, d1, out=loads)
+        new = self._l2
+        np.add(loads, d1, out=new)
 
-        # Incremental NSS caps for every document; rows that clamped a load
-        # at zero (unsafe alphas only) are recomputed from scratch, exactly
-        # as the per-document engine does.
-        if self._contig:
-            fwd[:, 1:] -= t
-        else:
-            fwd[:, flat.edge_child] -= t
-        row_min = loads.min(axis=1)
+        row_min = new.min(axis=1)
+        rows = None
         if row_min.min() < 0.0:
             rows = np.flatnonzero(row_min < 0.0)
-            loads[rows] = np.maximum(loads[rows], 0.0)
-            fwd[rows] = batch_forwarded_rates(flat, self._e[rows], loads[rows])
+            new[rows] = np.maximum(new[rows], 0.0)
+        moved = new != loads
+        # ping-pong: the old loads buffer becomes next round's scratch
+        self._loads, self._l2 = new, loads
+        if rows is None and not moved.any():
+            # Globally load-static round: the true forwarded rates are a
+            # function of (E, L) and L did not change, so the incremental
+            # fwd decrement would be pure bookkeeping drift.  Skip it:
+            # the whole stack is at its floating-point fixed point.
+            if track:
+                self._active = np.zeros(0, dtype=np.intp)
+        else:
+            # Incremental NSS caps for every document; rows that clamped
+            # a load at zero (unsafe alphas only) are recomputed from
+            # scratch, exactly as the per-document engine does.
+            if self._contig:
+                fwd[:, 1:] -= t
+            else:
+                fwd[:, flat.edge_child] -= t
+            if rows is not None:
+                fwd[rows] = batch_forwarded_rates(flat, self._e[rows], new[rows])
+            if track:
+                # Same frontier rule as the kernel, in flat (doc, edge)
+                # space: keep nonzero transfers, (re)activate edges
+                # incident to moved nodes, and rows whose NSS caps were
+                # rebuilt wholesale.  Mask arithmetic (no sorting):
+                # flatnonzero of the (D, m) mask is the sorted flat index
+                # array the sparse path needs.
+                edge_mask = t != 0.0
+                np.logical_or(edge_mask, moved[:, flat.edge_parent], out=edge_mask)
+                if self._contig:
+                    np.logical_or(edge_mask, moved[:, 1:], out=edge_mask)
+                else:
+                    np.logical_or(
+                        edge_mask, moved[:, flat.edge_child], out=edge_mask
+                    )
+                if rows is not None:
+                    edge_mask[rows] = True
+                self._active = np.flatnonzero(edge_mask)
         self._round += 1
+        self._dense_rounds += 1
+        self._op_count += d * m
+
+    def _step_sparse(self, act: np.ndarray) -> None:
+        """One round over the active ``(doc, edge)`` pairs only.
+
+        Mirrors :meth:`_step_dense` element for element on the active
+        slice; omitted pairs carry exactly-zero transfers, so every
+        partial sum - and therefore every load and forwarded rate - comes
+        out bit-identical to the dense round (see
+        :mod:`repro.core.frontier`).
+        """
+        self._round += 1
+        self._sparse_rounds += 1
+        self._op_count += int(act.size)
+        if act.size == 0:  # quiescent: the whole stack is at a fixed point
+            return
+        flat = self.flat
+        n = flat.n
+        m = n - 1
+        loads, fwd = self._loads, self._fwd
+        dv = act // m
+        ev = act - dv * m
+        ep = flat.edge_parent[ev]
+        ec = flat.edge_child[ev]
+        pflat = dv * n + ep
+        cflat = dv * n + ec
+        lr = loads.reshape(-1)
+        fr = fwd.reshape(-1)
+        lp = lr[pflat]
+        lc = lr[cflat]
+        fc = fr[cflat]
+        t = lp - lc
+        t *= self._alpha[ev]
+        clip_edge_transfers(t, lc, fc, np.empty_like(t), np.empty_like(t))
+
+        touched = sorted_unique(np.concatenate([pflat, cflat]))
+        delta = np.zeros(touched.size, dtype=np.float64)
+        delta[np.searchsorted(touched, cflat)] = t
+        delta -= np.bincount(
+            np.searchsorted(touched, pflat), weights=t, minlength=touched.size
+        )
+        old = lr[touched]
+        new = old + delta
+        lr[touched] = new
+        moved = touched[new != old]
+        neg = new < 0.0
+        if not np.any(neg):
+            if moved.size == 0:
+                # Globally load-static round: skip the fwd update (see
+                # _step_dense) - the whole stack is at its fixed point.
+                self._active = np.zeros(0, dtype=np.intp)
+                return
+            fr[cflat] = fc - t
+            self._active = sorted_unique(
+                np.concatenate(
+                    [batch_incident_edges(flat, moved), act[t != 0.0]]
+                )
+            )
+            return
+        fr[cflat] = fc - t
+        rows = np.unique(touched[neg] // n)
+        self._loads[rows] = np.maximum(self._loads[rows], 0.0)
+        self._fwd[rows] = batch_forwarded_rates(
+            flat, self._e[rows], self._loads[rows]
+        )
+        self._active = sorted_unique(
+            np.concatenate(
+                [
+                    batch_incident_edges(flat, moved),
+                    act[t != 0.0],
+                    (
+                        rows[:, None] * m + np.arange(m, dtype=np.intp)[None, :]
+                    ).reshape(-1),
+                ]
+            )
+        )
 
     def run(self, rounds: int) -> None:
         """Advance every document by ``rounds`` synchronous rounds."""

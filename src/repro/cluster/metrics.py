@@ -53,6 +53,7 @@ class TickStats:
     sq_distance: Optional[float] = None
     sq_target: Optional[float] = None
     converged: Optional[int] = None
+    frozen: int = 0
 
 
 def merge_tick_stats(parts: Sequence[TickStats]) -> TickStats:
@@ -75,6 +76,7 @@ def merge_tick_stats(parts: Sequence[TickStats]) -> TickStats:
         sq_distance=sum(p.sq_distance for p in tracked) if tracked else None,
         sq_target=sum(p.sq_target for p in tracked) if tracked else None,
         converged=sum(p.converged for p in tracked) if tracked else None,
+        frozen=sum(p.frozen for p in parts),
     )
 
 
@@ -103,6 +105,9 @@ class ClusterSnapshot:
     converged_fraction:
         Fraction of documents within the runtime's tolerance of their own
         TLB optimum (``None`` when tracking is off).
+    frozen_fraction:
+        Fraction of documents in *frozen* cohorts (quiescent engines the
+        adaptive tick loop skips; always 0.0 with ``adaptive=False``).
     """
 
     tick: int
@@ -114,6 +119,7 @@ class ClusterSnapshot:
     fairness: float
     tlb_gap: Optional[float]
     converged_fraction: Optional[float]
+    frozen_fraction: float = 0.0
 
     HEADERS = [
         "tick",
@@ -125,6 +131,7 @@ class ClusterSnapshot:
         "jain",
         "tlb gap",
         "conv%",
+        "frozen%",
     ]
 
     def as_row(self) -> List:
@@ -140,6 +147,7 @@ class ClusterSnapshot:
             "-"
             if self.converged_fraction is None
             else round(self.converged_fraction * 100.0, 1),
+            round(self.frozen_fraction * 100.0, 1),
         ]
 
 
@@ -171,6 +179,7 @@ def snapshot_from_stats(
         fairness=jain_fairness(totals.tolist()) if totals.size else 1.0,
         tlb_gap=tlb_gap,
         converged_fraction=converged_fraction,
+        frozen_fraction=stats.frozen / stats.documents if stats.documents else 0.0,
     )
 
 
@@ -223,4 +232,5 @@ class ClusterMetrics:
             "fairness": self.series("fairness"),
             "tlb_gap": self.series("tlb_gap"),
             "converged_fraction": self.series("converged_fraction"),
+            "frozen_fraction": self.series("frozen_fraction"),
         }

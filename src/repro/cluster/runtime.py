@@ -109,10 +109,15 @@ class _Cohort:
         doc_id: str,
         rates: np.ndarray,
         served: np.ndarray,
+        adaptive: bool = True,
     ) -> None:
         self.pruned = pruned
         self.engine = BatchEngine(
-            flatten(pruned.tree), rates[None, :], served[None, :], edge_alpha
+            flatten(pruned.tree),
+            rates[None, :],
+            served[None, :],
+            edge_alpha,
+            adaptive=adaptive,
         )
         self.doc_ids: List[str] = [doc_id]
         self._rows: Dict[str, int] = {doc_id: 0}
@@ -173,6 +178,14 @@ class ClusterRuntime:
         Run each cohort on its demand closure (identical trajectories,
         far less work).  ``False`` forces full-width engines - useful for
         benchmarking the pruning itself.
+    adaptive:
+        Run cohort engines with active-set stepping and *freeze* cohorts
+        whose engines go quiescent (empty frontier): a frozen cohort is
+        dropped from the tick loop - its arrays are not touched at all -
+        and re-activated only by a lifecycle event (publish / retire /
+        set_rates / scale / resettle) that mutates it.  Trajectories are
+        bit-identical to ``adaptive=False``; steady-state ticks cost
+        O(active cohorts).
     """
 
     def __init__(
@@ -184,6 +197,7 @@ class ClusterRuntime:
         track_tlb: bool = False,
         tolerance: float = 1e-3,
         prune: bool = True,
+        adaptive: bool = True,
     ) -> None:
         if callable(trees) and not isinstance(trees, Mapping):
             self._tree_source: Callable[[int], RoutingTree] = trees
@@ -204,9 +218,13 @@ class ClusterRuntime:
         self._track_tlb = bool(track_tlb)
         self._tolerance = float(tolerance)
         self._prune = bool(prune)
+        self._adaptive = bool(adaptive)
         self._groups: Dict[int, _HomeGroup] = {}
         self._doc_home: Dict[str, int] = {}
         self._doc_cohort: Dict[str, bytes] = {}
+        # Cohorts the tick loop still visits; a cohort leaves when its
+        # engine goes quiescent and re-enters via _wake on any mutation.
+        self._active_cohorts: Dict[Tuple[int, bytes], _Cohort] = {}
         self._n: Optional[int] = None
         self._tick = 0
 
@@ -238,6 +256,32 @@ class ClusterRuntime:
     @property
     def cohort_count(self) -> int:
         return sum(len(g.cohorts) for g in self._groups.values())
+
+    @property
+    def active_cohort_count(self) -> int:
+        """Cohorts the tick loop still visits (not frozen)."""
+        return len(self._active_cohorts)
+
+    @property
+    def active_cohort_keys(self) -> Tuple[Tuple[int, bytes], ...]:
+        """The ``(home, closure-key)`` ids of the unfrozen cohorts."""
+        return tuple(sorted(self._active_cohorts))
+
+    def frozen_documents(self) -> int:
+        """Documents whose cohort engine is quiescent (frontier empty)."""
+        return sum(
+            c.engine.docs
+            for g in self._groups.values()
+            for c in g.cohorts.values()
+            if c.engine.quiescent
+        )
+
+    def _wake(self, home: int, key: bytes, cohort: _Cohort) -> None:
+        """(Re)enter a cohort into the tick loop after a mutation."""
+        self._active_cohorts[(home, key)] = cohort
+
+    def _drop_cohort(self, home: int, key: bytes) -> None:
+        self._active_cohorts.pop((home, key), None)
 
     def home_of(self, doc_id: str) -> int:
         try:
@@ -411,6 +455,7 @@ class ClusterRuntime:
                     doc_id,
                     pruned.restrict(rates_arr),
                     pruned.restrict(served_arr),
+                    adaptive=self._adaptive,
                 )
                 group.cohorts[key] = cohort
                 self._doc_home[doc_id] = home
@@ -426,6 +471,7 @@ class ClusterRuntime:
                     cohort.append_doc(e[0])
                     self._doc_home[e[0]] = home
                     self._doc_cohort[e[0]] = key
+            self._wake(home, key, cohort)
             self._extend_targets(cohort, len(entries))
 
     def publish(
@@ -451,13 +497,17 @@ class ClusterRuntime:
     def retire(self, doc_id: str) -> float:
         """Drop a document; returns the served mass that left with it."""
         group, cohort, row = self._cohort_of(doc_id)
+        key = self._doc_cohort[doc_id]
         removed = float(cohort.engine.remove_documents([row])[0])
         cohort.drop_doc(row)
         if cohort.targets is not None:
             cohort.targets = np.delete(cohort.targets, row, axis=0)
             cohort.target_norms = np.delete(cohort.target_norms, row)
         if not cohort.doc_ids:
-            del group.cohorts[self._doc_cohort[doc_id]]
+            del group.cohorts[key]
+            self._drop_cohort(group.home, key)
+        else:
+            self._wake(group.home, key, cohort)
         del self._doc_home[doc_id]
         del self._doc_cohort[doc_id]
         return removed
@@ -480,6 +530,7 @@ class ClusterRuntime:
         key = np.packbits(mask).tobytes()
         if key == self._doc_cohort[doc_id]:
             cohort.engine.resettle_rows([row], cohort.pruned.restrict(rates_arr)[None, :])
+            self._wake(group.home, key, cohort)
             self._set_target(cohort, row)
             return
         # The closure changed: resettle on the full tree (load served
@@ -505,8 +556,9 @@ class ClusterRuntime:
         # cohort resettles in one batched pass; TLB targets scale linearly
         # (folds compare per-node loads, which all scale together).
         for group in self._groups.values():
-            for cohort in group.cohorts.values():
+            for key, cohort in group.cohorts.items():
                 cohort.engine.resettle(cohort.engine.spontaneous * factor)
+                self._wake(group.home, key, cohort)
                 if cohort.targets is not None:
                     cohort.targets = cohort.targets * factor
                     cohort.target_norms = cohort.target_norms * factor
@@ -526,10 +578,25 @@ class ClusterRuntime:
     # Ticks, snapshots, runs
     # ------------------------------------------------------------------
     def tick(self) -> None:
-        """Advance every document in the catalog by one diffusion round."""
-        for group in self._groups.values():
-            for cohort in group.cohorts.values():
-                cohort.engine.step()
+        """Advance every document in the catalog by one diffusion round.
+
+        Only *active* cohorts are stepped: a cohort whose engine went
+        quiescent (empty frontier - every further round is a bitwise
+        no-op) is dropped from the loop until a lifecycle event wakes it,
+        so steady-state ticks cost O(active cohorts), not O(catalog).
+        """
+        frozen = None
+        for cohort_key, cohort in self._active_cohorts.items():
+            engine = cohort.engine
+            engine.step()
+            if engine.quiescent:
+                if frozen is None:
+                    frozen = [cohort_key]
+                else:
+                    frozen.append(cohort_key)
+        if frozen:
+            for cohort_key in frozen:
+                del self._active_cohorts[cohort_key]
         self._tick += 1
 
     def tick_stats(self) -> TickStats:
@@ -558,6 +625,7 @@ class ClusterRuntime:
             sq_distance=sq_distance,
             sq_target=sq_target,
             converged=converged,
+            frozen=self.frozen_documents(),
         )
 
     def snapshot(self) -> "ClusterSnapshot":
@@ -581,6 +649,7 @@ class ClusterRuntime:
         self._groups.clear()
         self._doc_home.clear()
         self._doc_cohort.clear()
+        self._active_cohorts.clear()
         self.publish_many(
             [(r.doc_id, r.home, r.rates, r.served) for r in records]
         )

@@ -52,6 +52,7 @@ class ShardSpec:
     track_tlb: bool
     tolerance: float
     prune: bool
+    adaptive: bool = True
 
 
 @dataclass(frozen=True)
@@ -89,6 +90,7 @@ def run_shard(spec: ShardSpec) -> ShardResult:
         track_tlb=spec.track_tlb,
         tolerance=spec.tolerance,
         prune=spec.prune,
+        adaptive=spec.adaptive,
     )
     for home in sorted(trees):
         runtime._group(home)  # fixes the node-universe size up front
@@ -201,6 +203,7 @@ def run_sharded(
             track_tlb=runtime._track_tlb,
             tolerance=runtime._tolerance,
             prune=runtime._prune,
+            adaptive=runtime._adaptive,
         )
         for idx, homes in enumerate(shards)
     ]

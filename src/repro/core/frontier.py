@@ -1,0 +1,131 @@
+"""Active-set (frontier) machinery for convergence-adaptive stepping.
+
+The paper's central locality claim is that diffusion work concentrates
+where the load gradient is non-flat: once a region of the tree has
+settled, its servers take no Figure 5 action until demand shifts again.
+The adaptive engines exploit that by keeping an explicit *frontier* - the
+set of edges that could possibly move mass this round - and evaluating the
+Figure 5 update only on that slice.
+
+The frontier invariant that makes the sparse path **bit-identical** to the
+dense one is purely floating-point: an edge may be dropped from the
+frontier only when its transfer is exactly ``0.0`` *and* applying the
+round changed none of its inputs (endpoint loads, the child's forwarded
+rate) bitwise.  Such an edge recomputes the exact same zero next round, so
+skipping it cannot perturb any value; and because IEEE addition of
+``+0.0`` is the identity on the partial sums the scatter-adds build, the
+deltas of the remaining nodes come out bit-for-bit equal to the dense
+round's.  The frontier therefore empties exactly when the engine reaches
+its floating-point fixed point - ``frontier empty <=> another round would
+be a bitwise no-op`` - which the kernel property tests pin.
+
+This module owns the shared geometry: a node -> incident-edge CSR index
+per :class:`~repro.core.kernel.FlatTree` (cached weakly, like the flat
+trees themselves), plus the gather helpers the engines use to grow a
+frontier from the nodes whose state actually changed.  The rate plane
+(:class:`~repro.core.kernel.SyncEngine`) indexes edges directly; the
+cluster plane (:class:`~repro.cluster.batch.BatchEngine`) works in the
+flattened ``document * edge`` index space and offsets the same per-tree
+CSR by document row.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "incident_edge_csr",
+    "csr_gather",
+    "incident_edges_of",
+    "batch_incident_edges",
+    "sorted_unique",
+]
+
+
+def sorted_unique(values: np.ndarray) -> np.ndarray:
+    """Sort ``values`` in place and drop duplicates.
+
+    The sparse rounds deduplicate small frontier index arrays thousands of
+    times per run; a plain sort-and-mask is several times faster there
+    than :func:`numpy.unique`'s hash path.  The input must be a freshly
+    allocated array (it is sorted in place).
+    """
+    if values.size == 0:
+        return values
+    values.sort()
+    keep = np.empty(values.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(values[1:], values[:-1], out=keep[1:])
+    return values[keep]
+
+# Weak-keyed like kernel._FLAT_CACHE: the CSR lives as long as the tree.
+_INCIDENT_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def incident_edge_csr(flat) -> Tuple[np.ndarray, np.ndarray]:
+    """The (offsets, edge_ids) CSR of edges incident to each node.
+
+    ``edge_ids[offsets[i]:offsets[i + 1]]`` are the edge indices touching
+    node ``i`` - its own parent edge (unless it is the root) and one edge
+    per child - in ascending edge order.  Cached per :class:`FlatTree`.
+    """
+    cached = _INCIDENT_CACHE.get(flat)
+    if cached is not None:
+        return cached
+    n = flat.n
+    m = flat.edge_child.shape[0]
+    endpoints = np.concatenate([flat.edge_parent, flat.edge_child])
+    edge_ids = np.concatenate([np.arange(m, dtype=np.intp)] * 2) if m else (
+        np.zeros(0, dtype=np.intp)
+    )
+    order = np.argsort(endpoints, kind="stable")
+    ids = edge_ids[order]
+    offsets = np.zeros(n + 1, dtype=np.intp)
+    np.cumsum(np.bincount(endpoints, minlength=n), out=offsets[1:])
+    result = (offsets, ids)
+    _INCIDENT_CACHE[flat] = result
+    return result
+
+
+def csr_gather(
+    offsets: np.ndarray, ids: np.ndarray, nodes: np.ndarray
+) -> np.ndarray:
+    """Concatenate the CSR rows of ``nodes`` (vectorized multi-gather)."""
+    counts = offsets[nodes + 1] - offsets[nodes]
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.intp)
+    ends = np.cumsum(counts)
+    idx = np.arange(total, dtype=np.intp) + np.repeat(
+        offsets[nodes] - (ends - counts), counts
+    )
+    return ids[idx]
+
+
+def incident_edges_of(flat, nodes: np.ndarray) -> np.ndarray:
+    """Edge indices incident to any of ``nodes`` (with repetitions)."""
+    offsets, ids = incident_edge_csr(flat)
+    return csr_gather(offsets, ids, nodes)
+
+
+def batch_incident_edges(flat, flat_nodes: np.ndarray) -> np.ndarray:
+    """Flat ``doc * m + edge`` indices incident to flat ``doc * n + node`` ids.
+
+    The cluster plane's :class:`~repro.cluster.batch.BatchEngine` stacks
+    ``D`` documents over one tree and addresses its frontier in the
+    flattened ``(D, m)`` edge space; this expands a set of flattened
+    ``(D, n)`` node ids into their per-document incident edges.
+    """
+    if flat_nodes.size == 0:
+        return np.zeros(0, dtype=np.intp)
+    n = flat.n
+    m = flat.edge_child.shape[0]
+    offsets, ids = incident_edge_csr(flat)
+    docs = flat_nodes // n
+    nodes = flat_nodes - docs * n
+    counts = offsets[nodes + 1] - offsets[nodes]
+    local = csr_gather(offsets, ids, nodes)
+    return np.repeat(docs, counts) * m + local

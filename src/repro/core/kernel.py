@@ -45,6 +45,19 @@ arithmetic plus two ``bincount`` scatter-adds; the per-node forwarded rates
 ``np.add.at`` pass per tree level) only when a round clamps a load at zero
 or the spontaneous rates change.  At n=10k this is two orders of magnitude
 faster than the seed's per-edge Python loop.
+
+Adaptive (active-set) stepping.  With ``adaptive=True`` (the default)
+:class:`SyncEngine` additionally keeps the edge *frontier* of
+:mod:`repro.core.frontier`: the set of edges that could move mass this
+round.  A sparse round gathers only the frontier's rows of the CSR
+arrays, applies the same :mod:`repro.core.policy` arithmetic to that
+slice, scatters the deltas back, and re-derives the frontier from where
+state actually changed bitwise - falling back to the tracked dense round
+whenever the frontier exceeds ``density_threshold`` of the edges.  The
+sparse path is bit-identical to the dense one (an edge leaves the
+frontier only once its transfer is exactly zero and its inputs stopped
+changing), so per-round cost scales with *activity* - on skewed demand a
+round touches the demand closure, not the topology.
 """
 
 from __future__ import annotations
@@ -56,6 +69,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from . import policy
+from .frontier import incident_edges_of, sorted_unique
 from .tree import RoutingTree
 
 __all__ = [
@@ -111,6 +125,7 @@ class FlatTree:
         "child_offsets",
         "child_ids",
         "degree",
+        "_children_lists",
         "__weakref__",
     )
 
@@ -139,10 +154,27 @@ class FlatTree:
             np.argsort(self.edge_parent, kind="stable")
         ]
         self.degree = child_counts + (ids != tree.root)
+        self._children_lists: Optional[List[List[int]]] = None
 
     def children_of(self, i: int) -> np.ndarray:
         """Children of node ``i``, ascending."""
         return self.child_ids[self.child_offsets[i] : self.child_offsets[i + 1]]
+
+    def children_lists(self) -> List[List[int]]:
+        """Per-node children as plain lists (built once, shared).
+
+        The asynchronous engine and the packet protocol loop over one
+        node's children in Python per activation; materializing the lists
+        once keeps ``ndarray.tolist`` off those hot paths.
+        """
+        lists = self._children_lists
+        if lists is None:
+            lists = [
+                self.child_ids[self.child_offsets[i] : self.child_offsets[i + 1]].tolist()
+                for i in range(self.n)
+            ]
+            self._children_lists = lists
+        return lists
 
 
 # Weak-valued so a tree's arrays live exactly as long as something (an
@@ -301,6 +333,15 @@ class SyncEngine:
         update only; ``0`` = the paper's instantaneous exchange).
     quantum:
         If positive, transfers round down to multiples of this value.
+    adaptive:
+        Keep an active-edge frontier and run sparse rounds while it is
+        below ``density_threshold`` of the edges (bit-identical to the
+        dense rounds; see :mod:`repro.core.frontier`).  Gossip staleness
+        forces the dense path (historical views shift without any load
+        moving), so ``gossip_delay > 0`` disables the frontier.
+    density_threshold:
+        Fraction of edges above which a round falls back to the dense
+        vectorized path (the sparse gathers stop paying for themselves).
 
     The engine owns mutable state (loads, the gossip ring, the incremental
     forwarded vector); facades expose it read-only.
@@ -317,6 +358,13 @@ class SyncEngine:
         "_history",
         "_fwd",
         "_round",
+        "_adaptive",
+        "_density",
+        "_active",
+        "_dense_rounds",
+        "_sparse_rounds",
+        "_edges_processed",
+        "_served_cache",
     )
 
     def __init__(
@@ -329,6 +377,8 @@ class SyncEngine:
         capacities: Optional[Sequence[float]] = None,
         gossip_delay: int = 0,
         quantum: float = 0.0,
+        adaptive: bool = True,
+        density_threshold: float = 0.5,
     ) -> None:
         self.flat = flat
         self._e = _as_vector(spontaneous, flat.n, "spontaneous rates")
@@ -342,6 +392,15 @@ class SyncEngine:
         self._history: List[np.ndarray] = [self._loads.copy()]
         self._fwd = forwarded_rates(flat, self._e, self._loads)
         self._round = 0
+        self._adaptive = bool(adaptive) and self._delay == 0
+        self._density = float(density_threshold)
+        # None = every edge is (potentially) active; the first tracked
+        # dense round establishes the invariant and shrinks it.
+        self._active: Optional[np.ndarray] = None
+        self._dense_rounds = 0
+        self._sparse_rounds = 0
+        self._edges_processed = 0
+        self._served_cache: Optional[Tuple[int, Tuple[float, ...]]] = None
 
     # -- read-only views -------------------------------------------------
     @property
@@ -357,8 +416,50 @@ class SyncEngine:
     def spontaneous(self) -> np.ndarray:
         return self._e
 
+    @property
+    def adaptive(self) -> bool:
+        """Whether the active-set (sparse) stepping path is enabled."""
+        return self._adaptive
+
+    @property
+    def frontier_size(self) -> int:
+        """Edges in the active frontier (all edges before the first round)."""
+        if self._active is None:
+            return int(self.flat.edge_child.shape[0])
+        return int(self._active.size)
+
+    @property
+    def converged(self) -> bool:
+        """True when the frontier is empty: another round is a bitwise no-op."""
+        return self._active is not None and self._active.size == 0
+
+    @property
+    def step_stats(self) -> Dict[str, int]:
+        """Dense/sparse round counts and total edges evaluated."""
+        return {
+            "dense_rounds": self._dense_rounds,
+            "sparse_rounds": self._sparse_rounds,
+            "edges_processed": self._edges_processed,
+        }
+
+    def frontier_nodes(self) -> np.ndarray:
+        """Distinct nodes incident to the active frontier, ascending."""
+        if self._active is None:
+            return np.arange(self.flat.n, dtype=np.intp)
+        flat = self.flat
+        return np.unique(
+            np.concatenate(
+                [flat.edge_parent[self._active], flat.edge_child[self._active]]
+            )
+        )
+
     def served_tuple(self) -> Tuple[float, ...]:
-        return tuple(self._loads.tolist())
+        cached = self._served_cache
+        if cached is not None and cached[0] == self._round:
+            return cached[1]
+        served = tuple(self._loads.tolist())
+        self._served_cache = (self._round, served)
+        return served
 
     def distance_to(self, target: np.ndarray) -> float:
         """Euclidean distance of the current loads to ``target``."""
@@ -373,6 +474,8 @@ class SyncEngine:
         self._loads = _as_vector(served, self.flat.n, "served rates")
         self._history = [self._loads.copy()]
         self._fwd = forwarded_rates(self.flat, self._e, self._loads)
+        self._active = None
+        self._served_cache = None
 
     def resettle(self, rates: Sequence[float]) -> None:
         """Apply a new spontaneous-rate vector, clamping carried-over loads."""
@@ -383,7 +486,25 @@ class SyncEngine:
 
     # -- the round ---------------------------------------------------------
     def step(self) -> None:
-        """One synchronous diffusion round over every edge at once."""
+        """One synchronous diffusion round (sparse when the frontier allows).
+
+        The dense and sparse paths produce bit-identical trajectories; the
+        sparse path runs whenever the frontier holds at most
+        ``density_threshold`` of the edges, the dense path otherwise (and
+        always when adaptive stepping is off).
+        """
+        if self._adaptive:
+            active = self._active
+            if (
+                active is not None
+                and active.size <= self._density * self.flat.edge_child.shape[0]
+            ):
+                self._step_sparse(active)
+                return
+        self._step_dense(track=self._adaptive)
+
+    def _step_dense(self, track: bool) -> None:
+        """The full-width round; with ``track`` it also re-derives the frontier."""
         flat = self.flat
         ep, ec = flat.edge_parent, flat.edge_child
         loads = self._loads
@@ -429,16 +550,110 @@ class SyncEngine:
             np.maximum(new_loads, 0.0, out=new_loads)
             self._loads = new_loads
             self._fwd = forwarded_rates(flat, self._e, new_loads)
+            if track:
+                self._active = None  # fwd changed wholesale: re-scan everything
         else:
             self._loads = new_loads
-            # A transfer on edge (p, c) only moves load across the subtree
-            # boundary of c: A_c falls by the net downward transfer.
-            fwd[ec] -= transfer
+            moved = new_loads != loads if self._delay == 0 else None
+            if moved is not None and not moved.any():
+                # Globally load-static round: the true forwarded rates are
+                # a function of (E, L) and L did not change, so the
+                # incremental fwd decrement would be pure bookkeeping
+                # drift (sub-ulp transfers shuffling A while every load
+                # stays pinned).  Skip it: the engine is at its
+                # floating-point fixed point - once static, every
+                # remaining transfer is sub-ulp and can only shrink, so
+                # loads never move again on either path.
+                if track:
+                    self._active = np.zeros(0, dtype=np.intp)
+            else:
+                # A transfer on edge (p, c) only moves load across the
+                # subtree boundary of c: A_c falls by the net downward
+                # transfer.
+                fwd[ec] -= transfer
+                if track:
+                    # An edge may leave the frontier only once its
+                    # transfer is exactly zero (a zero contributes nothing
+                    # to any partial sum) and its inputs stopped changing:
+                    # nonzero transfers stay active, and every edge
+                    # incident to a node whose load changed bitwise is
+                    # (re)activated.  Mask arithmetic, not sorting: the
+                    # dense round is O(edges) already and flatnonzero
+                    # yields the sorted index array the sparse path needs.
+                    edge_mask = transfer != 0.0
+                    np.logical_or(edge_mask, moved[ep], out=edge_mask)
+                    np.logical_or(edge_mask, moved[ec], out=edge_mask)
+                    self._active = np.flatnonzero(edge_mask)
 
         if self._delay > 0:
             self._history.insert(0, new_loads.copy())
             del self._history[self._delay + 1 :]
         self._round += 1
+        self._dense_rounds += 1
+        self._edges_processed += int(ec.shape[0])
+
+    def _step_sparse(self, idx: np.ndarray) -> None:
+        """One round over the active edges only (bit-identical to dense).
+
+        Every arithmetic step mirrors :meth:`_step_dense` element for
+        element; edges outside ``idx`` carry an exactly-zero transfer by
+        the frontier invariant, and IEEE addition of ``+0.0`` leaves every
+        partial sum unchanged, so gathering/scattering only the active
+        slice reproduces the dense round bit for bit.
+        """
+        self._round += 1
+        self._sparse_rounds += 1
+        self._edges_processed += int(idx.size)
+        if idx.size == 0:  # floating-point fixed point: nothing can move
+            return
+        flat = self.flat
+        loads = self._loads
+        fwd = self._fwd
+        ep = flat.edge_parent[idx]
+        ec = flat.edge_child[idx]
+        alpha = self._alpha[idx]
+        lp = loads[ep]
+        lc = loads[ec]
+        fc = fwd[ec]
+        if self._caps is None:
+            transfer = policy.sync_edge_transfers(
+                lp, lc, lp, lc, fc, alpha, quantum=self._quantum
+            )
+        else:
+            caps = self._caps
+            cp = caps[ep]
+            cc = caps[ec]
+            transfer = policy.capacity_edge_transfers(
+                lp, lc, lp / cp, lc / cc, np.minimum(cp, cc), fc, alpha
+            )
+
+        # delta over the touched nodes, in dense association order:
+        # (child scatter) - (parent bincount), then loads + delta.
+        touched = sorted_unique(np.concatenate([ep, ec]))
+        delta = np.zeros(touched.size, dtype=np.float64)
+        delta[np.searchsorted(touched, ec)] = transfer
+        delta -= np.bincount(
+            np.searchsorted(touched, ep), weights=transfer, minlength=touched.size
+        )
+        old = loads[touched]
+        new = old + delta
+        if np.any(new < 0.0):
+            loads[touched] = np.maximum(new, 0.0)
+            self._fwd = forwarded_rates(flat, self._e, loads)
+            self._active = None
+            return
+        loads[touched] = new
+        moved = touched[new != old]
+        if moved.size == 0:
+            # Globally load-static round: skip the fwd update (see
+            # _step_dense) - the floating-point fixed point.
+            self._active = np.zeros(0, dtype=np.intp)
+            return
+        fwd[ec] = fc - transfer
+        kept = idx[transfer != 0.0]
+        self._active = sorted_unique(
+            np.concatenate([incident_edges_of(flat, moved), kept])
+        )
 
 
 # ----------------------------------------------------------------------
@@ -545,6 +760,8 @@ class AsyncEngine:
         "_history",
         "_fwd",
         "_activations",
+        "_children",
+        "_served_cache",
     )
 
     def __init__(
@@ -568,6 +785,8 @@ class AsyncEngine:
         self._history: List[np.ndarray] = [self._loads.copy()]
         self._fwd = forwarded_rates(flat, self._e, self._loads)
         self._activations = 0
+        self._children = flat.children_lists()
+        self._served_cache: Optional[Tuple[int, Tuple[float, ...]]] = None
 
     @property
     def activations(self) -> int:
@@ -578,7 +797,12 @@ class AsyncEngine:
         return self._loads
 
     def served_tuple(self) -> Tuple[float, ...]:
-        return tuple(self._loads.tolist())
+        cached = self._served_cache
+        if cached is not None and cached[0] == self._activations:
+            return cached[1]
+        served = tuple(self._loads.tolist())
+        self._served_cache = (self._activations, served)
+        return served
 
     def distance_to(self, target: np.ndarray) -> float:
         return float(np.linalg.norm(self._loads - target))
@@ -603,7 +827,7 @@ class AsyncEngine:
         # are its own arrival stream), so the NSS caps are exact even under
         # gossip staleness.
         alpha = self._alpha_of_child
-        for child in flat.children_of(node).tolist():
+        for child in self._children[node]:
             gap = my_load - self._stale_view(child)
             if gap > _EPS:
                 transfer = policy.push_down_amount(

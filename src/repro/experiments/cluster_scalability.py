@@ -146,7 +146,10 @@ def run_cluster_scalability(
         alphas = degree_edge_alphas(flat)
 
         # --- batched: time whole-catalog ticks -------------------------
-        runtime = ClusterRuntime({home: tree})
+        # adaptive=False on both sides: this row tracks the dense batched
+        # plane against the dense per-document loop (PR 2's comparison);
+        # the adaptive freeze/frontier win is recorded in BENCH_adaptive.
+        runtime = ClusterRuntime({home: tree}, adaptive=False)
         _publish_all(runtime, doc_ids, matrix, home)
         active = 0
         for group in runtime._groups.values():
@@ -161,7 +164,7 @@ def run_cluster_scalability(
 
         # --- sequential: one SyncEngine per document -------------------
         engines = [
-            SyncEngine(flat, matrix[d], matrix[d], alphas)
+            SyncEngine(flat, matrix[d], matrix[d], alphas, adaptive=False)
             for d in range(documents)
         ]
         for engine in engines:
@@ -173,10 +176,10 @@ def run_cluster_scalability(
         seq_tick_s = (time.perf_counter() - start) / sequential_ticks
 
         # --- parity: fresh runs, compare dense trajectories ------------
-        runtime = ClusterRuntime({home: tree})
+        runtime = ClusterRuntime({home: tree}, adaptive=False)
         _publish_all(runtime, doc_ids, matrix, home)
         engines = [
-            SyncEngine(flat, matrix[d], matrix[d], alphas)
+            SyncEngine(flat, matrix[d], matrix[d], alphas, adaptive=False)
             for d in range(documents)
         ]
         for _ in range(parity_ticks):

@@ -12,6 +12,7 @@ import sys
 from typing import Callable, Dict, List, Tuple
 
 from .ablation import run_alpha_ablation, run_delay_ablation
+from .adaptive import run_adaptive_scalability
 from .cluster_scalability import run_cluster_scalability
 from .diffusion_theory import run_diffusion_theory
 from .extensions import (
@@ -48,6 +49,10 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[], object]]] = {
     "cluster-scalability": (
         "Cluster plane: batched catalog ticks vs per-document engines",
         run_cluster_scalability,
+    ),
+    "adaptive-scalability": (
+        "Active-set stepping: sparse-vs-dense wall clock + cohort freezing",
+        run_adaptive_scalability,
     ),
     "packet-scalability": (
         "Packet plane: rebuilt array simulator vs the pre-refactor reference",

@@ -227,7 +227,10 @@ def run_rate_scalability(
         flat = flatten(tree)
         alphas = degree_edge_alphas(flat)
 
-        engine = SyncEngine(flat, rates, rates, alphas)
+        # adaptive=False: this row tracks the *dense* kernel's trajectory
+        # (the adaptive active-set story has its own experiment and
+        # BENCH_adaptive.json record).
+        engine = SyncEngine(flat, rates, rates, alphas, adaptive=False)
         start = time.perf_counter()
         for _ in range(timed_rounds):
             engine.step()
@@ -243,7 +246,7 @@ def run_rate_scalability(
         target = np.asarray(
             webfold(tree, rates).assignment.served, dtype=np.float64
         )
-        engine = SyncEngine(flat, rates, rates, alphas)
+        engine = SyncEngine(flat, rates, rates, alphas, adaptive=False)
         threshold = engine.distance_to(target) * reduction
         start = time.perf_counter()
         converged = engine.distance_to(target) <= threshold

@@ -27,6 +27,17 @@ parent-side view of the child), one snapshot of every server's measured
 load is taken per gossip tick with a vectorized meter roll, and deliveries
 are batched per distinct link delay instead of two closures per edge.
 
+Adaptive stepping (the packet plane's slice of the active-set work): a
+server that is *meter-quiescent* - its EWMA load estimate is bitwise
+unchanged since the previous gossip window - schedules no view deliveries
+(the in-flight or landed value is already identical), and the diffusion
+pass visits only the exact action frontier: the nodes for which some
+Figure 5 branch will actually fire (a delegate edge, a pull, or a shed
+whose budget clears ``min_transfer_rate``).  Both filters are value-exact,
+so trajectories, message counts, and goldens are bit-identical to the
+dense pass; in steady state the per-tick cost scales with the servers
+whose meters still move, not with the tree.
+
 Barrier recovery per Section 5.2: a node underloaded relative to its parent
 for more than ``patience`` consecutive diffusion periods with no delegation
 received *tunnels* - it requests its hottest forwarded document directly
@@ -105,13 +116,31 @@ class WebWaveScenario(Scenario):
         self._edge_of_child[flat.edge_child] = np.arange(
             flat.edge_child.shape[0], dtype=np.intp
         )
-        self._children: List[List[int]] = [
-            flat.children_of(i).tolist() for i in range(n)
-        ]
+        self._children: List[List[int]] = flat.children_lists()
         self._bfs = list(self.tree.bfs_order())
         self._bfs_rank = np.zeros(n, dtype=np.intp)
         self._bfs_rank[self._bfs] = np.arange(n, dtype=np.intp)
         self._degree = flat.degree.tolist()
+        # Per-edge diffusion coefficients, bitwise equal to the scalar
+        # _alpha(parent, child): the vectorized action gate below must
+        # reproduce the per-branch budget tests exactly.
+        if self.protocol.alpha is not None:
+            self._alpha_edge = np.full(
+                flat.edge_child.shape[0], float(self.protocol.alpha)
+            )
+        else:
+            inv = 1.0 / (flat.degree.astype(np.float64) + 1.0)
+            self._alpha_edge = np.minimum(
+                inv[flat.edge_parent], inv[flat.edge_child]
+            )
+        # alpha of each node's own parent edge (root entry unused)
+        self._alpha_up = np.zeros(n, dtype=np.float64)
+        self._alpha_up[flat.edge_child] = self._alpha_edge
+        self._nonroot = np.ones(n, dtype=bool)
+        self._nonroot[flat.root] = False
+        # Meter values as of the previous gossip tick; NaN compares
+        # unequal to everything, so the first gossip always delivers.
+        self._last_gossip = np.full(n, np.nan)
         # Deliveries batched by distinct one-way delay, one event per
         # (delay, direction) group per gossip tick instead of 2E closures.
         down_groups: Dict[float, List[int]] = {}
@@ -169,13 +198,25 @@ class WebWaveScenario(Scenario):
         One vectorized meter snapshot; estimates land after the
         corresponding link delay (batched per distinct delay), modelling
         the gossip staleness a real deployment sees.
+
+        Meter-quiescent senders (estimate bitwise unchanged since the
+        previous gossip tick) schedule no delivery: the receiving view
+        already holds - or has in flight - that exact value, so skipping
+        the redundant write is value-exact.  The modelled protocol still
+        sends every message (the overhead accounting is unchanged); only
+        the simulator's no-op work is elided.
         """
         flat = self.flat
         loads = self.state.served_total.rates_all(self.sim.now)
         self.count_message("gossip", 2 * flat.edge_child.shape[0])
         ep, ec = flat.edge_parent, flat.edge_child
+        changed = loads != self._last_gossip
+        self._last_gossip = loads
         for delay, ks in self._gossip_down:
             # parent -> child: each child updates its view of the parent
+            ks = ks[changed[ep[ks]]]
+            if ks.size == 0:
+                continue
 
             def deliver_down(ks=ks, values=loads[ep[ks]]) -> None:
                 self._view_parent[ec[ks]] = values
@@ -183,6 +224,9 @@ class WebWaveScenario(Scenario):
             self.sim.post(self.sim.now + delay, deliver_down)
         for delay, ks in self._gossip_up:
             # child -> parent: the parent updates its view of that child
+            ks = ks[changed[ec[ks]]]
+            if ks.size == 0:
+                continue
 
             def deliver_up(ks=ks, values=loads[ec[ks]]) -> None:
                 self._view_child[ks] = values
@@ -193,15 +237,43 @@ class WebWaveScenario(Scenario):
     def _diffuse(self) -> None:
         """One diffusion period: every node runs Figure 5 on its estimates.
 
-        Only *active* nodes are visited, in BFS order: a node with zero
-        measured load and a zero parent view provably takes no Figure 5
-        action (every gap test fails), so skipping it is exact - and on a
-        big tree with regional demand most nodes are idle most ticks.
+        Only the exact *action frontier* is visited, in BFS order: the
+        vectorized gate below evaluates, per edge and per node, precisely
+        the gap/budget tests the scalar branches in :meth:`_diffuse_node`
+        apply (same operands, same float ops), so a skipped node provably
+        takes no Figure 5 action and the pass is bit-identical to visiting
+        everyone.  In steady state - loads balanced within
+        ``min_transfer_rate`` of every view - the frontier is empty and a
+        diffusion tick costs a handful of array comparisons.
         """
         now = self.sim.now
         loads = self.state.served_total.rates_all(now)
-        self._delegated_to = [False] * self.flat.n
-        active = np.flatnonzero((loads > _EPS) | (self._view_parent > _EPS))
+        flat = self.flat
+        self._delegated_to = [False] * flat.n
+        mt = self.protocol.min_transfer_rate
+        ep = flat.edge_parent
+        # delegate: parent i, child j act iff gap > eps and budget >= mt
+        gap_down = loads[ep] - self._view_child
+        act = np.zeros(flat.n, dtype=bool)
+        act[ep[(gap_down > _EPS) & (self._alpha_edge * gap_down >= mt)]] = True
+        # pull / shed: each non-root node against its parent view
+        gap_pull = self._view_parent - loads
+        np.logical_or(
+            act,
+            self._nonroot
+            & (gap_pull > _EPS)
+            & (self._alpha_up * gap_pull >= mt),
+            out=act,
+        )
+        gap_shed = loads - self._view_parent
+        np.logical_or(
+            act,
+            self._nonroot
+            & (gap_shed > _EPS)
+            & (self._alpha_up * gap_shed >= mt),
+            out=act,
+        )
+        active = np.flatnonzero(act)
         order = active[np.argsort(self._bfs_rank[active], kind="stable")]
         for i in order.tolist():
             self._diffuse_node(i, loads, now)

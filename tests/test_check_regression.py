@@ -1,0 +1,123 @@
+"""The perf-regression guard CLI (benchmarks/check_regression.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_SCRIPT = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "check_regression.py"
+)
+_spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+check_regression = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_regression", check_regression)
+_spec.loader.exec_module(check_regression)
+
+
+def _doc(entries, schema="bench-kernels/v1"):
+    return {"schema": schema, "entries": entries}
+
+
+class TestFindRegressions:
+    def test_no_regression_within_threshold(self):
+        base = _doc({"k": {"rounds_per_sec": 100.0, "nodes": 1000}})
+        fresh = _doc({"k": {"rounds_per_sec": 80.0, "nodes": 1000}})
+        assert check_regression.find_regressions(base, fresh) == []
+
+    def test_regression_beyond_threshold(self):
+        base = _doc({"k": {"rounds_per_sec": 100.0}})
+        fresh = _doc({"k": {"rounds_per_sec": 60.0}})
+        found = check_regression.find_regressions(base, fresh)
+        assert len(found) == 1
+        name, field, base_v, fresh_v, ratio = found[0]
+        assert (name, field) == ("k", "rounds_per_sec")
+        assert ratio == pytest.approx(0.6)
+
+    def test_speedup_is_a_throughput_metric(self):
+        base = _doc({"k": {"speedup": 20.0}})
+        fresh = _doc({"k": {"speedup": 5.0}})
+        assert len(check_regression.find_regressions(base, fresh)) == 1
+
+    def test_non_throughput_fields_ignored(self):
+        base = _doc({"k": {"seconds_per_round": 1.0, "nodes": 1000}})
+        fresh = _doc({"k": {"seconds_per_round": 50.0, "nodes": 10}})
+        assert check_regression.find_regressions(base, fresh) == []
+
+    def test_missing_entries_and_fields_skipped(self):
+        base = _doc(
+            {
+                "only_in_base": {"rounds_per_sec": 10.0},
+                "shared": {"rounds_per_sec": 10.0},
+            }
+        )
+        fresh = _doc(
+            {"shared": {"other": 1.0}, "only_in_fresh": {"rounds_per_sec": 1.0}}
+        )
+        assert check_regression.find_regressions(base, fresh) == []
+
+    def test_custom_threshold(self):
+        base = _doc({"k": {"rounds_per_sec": 100.0}})
+        fresh = _doc({"k": {"rounds_per_sec": 89.0}})
+        assert check_regression.find_regressions(base, fresh, threshold=0.3) == []
+        assert (
+            len(check_regression.find_regressions(base, fresh, threshold=0.1)) == 1
+        )
+
+    def test_ratio_only_ignores_absolute_rates(self):
+        """CI mode: machine-dependent per_sec drops do not trip the gate."""
+        base = _doc({"k": {"rounds_per_sec": 100.0, "speedup": 20.0}})
+        fresh = _doc({"k": {"rounds_per_sec": 10.0, "speedup": 19.0}})
+        assert (
+            check_regression.find_regressions(base, fresh, ratio_only=True) == []
+        )
+        fresh_bad = _doc({"k": {"rounds_per_sec": 10.0, "speedup": 2.0}})
+        found = check_regression.find_regressions(base, fresh_bad, ratio_only=True)
+        assert [(f[0], f[1]) for f in found] == [("k", "speedup")]
+
+    def test_schema_mismatch_raises(self):
+        base = _doc({}, schema="bench-kernels/v1")
+        fresh = _doc({}, schema="bench-cluster/v1")
+        with pytest.raises(ValueError, match="schema mismatch"):
+            check_regression.find_regressions(base, fresh)
+
+
+class TestCli:
+    def _write(self, path, doc):
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        base = self._write(tmp_path / "b.json", _doc({"k": {"rounds_per_sec": 10.0}}))
+        fresh = self._write(tmp_path / "f.json", _doc({"k": {"rounds_per_sec": 11.0}}))
+        assert check_regression.main([base, fresh]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        base = self._write(tmp_path / "b.json", _doc({"k": {"rounds_per_sec": 10.0}}))
+        fresh = self._write(tmp_path / "f.json", _doc({"k": {"rounds_per_sec": 1.0}}))
+        assert check_regression.main([base, fresh]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_exit_two_on_missing_file(self, tmp_path):
+        base = self._write(tmp_path / "b.json", _doc({}))
+        assert check_regression.main([base, str(tmp_path / "nope.json")]) == 2
+
+    def test_committed_bench_files_pass_self_comparison(self):
+        bench_dir = _SCRIPT.parent
+        for name in (
+            "BENCH_kernels.json",
+            "BENCH_cluster.json",
+            "BENCH_packet.json",
+            "BENCH_adaptive.json",
+        ):
+            path = bench_dir / name
+            if not path.exists():
+                continue
+            doc = json.loads(path.read_text())
+            assert check_regression.find_regressions(doc, doc) == []
