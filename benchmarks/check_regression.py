@@ -24,6 +24,11 @@ only the machine-independent *ratio* metrics (``speedup`` - both sides
 of each ratio were measured in the same run on the same machine); the
 full absolute comparison is for like-for-like machines (local A/B runs).
 
+Alongside the throughput comparison, any ``*overhead_fraction*`` field in
+the *fresh* file (the ``bench-obs/v1`` instrumentation rows) must stay at
+or under ``--overhead-budget`` (default 5%): telemetry that got more
+expensive is a regression even when every throughput metric held.
+
 Exit status: 0 = no regression, 1 = regression(s) found, 2 = bad input.
 """
 
@@ -35,9 +40,15 @@ import sys
 from pathlib import Path
 from typing import Iterator, List, Tuple
 
-__all__ = ["throughput_fields", "find_regressions", "main"]
+__all__ = [
+    "throughput_fields",
+    "find_regressions",
+    "find_overhead_violations",
+    "main",
+]
 
 DEFAULT_THRESHOLD = 0.30
+DEFAULT_OVERHEAD_BUDGET = 0.05
 
 
 def throughput_fields(
@@ -92,6 +103,28 @@ def find_regressions(
     return regressions
 
 
+def find_overhead_violations(
+    fresh: dict, budget: float = DEFAULT_OVERHEAD_BUDGET
+) -> List[Tuple[str, str, float]]:
+    """``*overhead_fraction*`` fields in ``fresh`` exceeding ``budget``.
+
+    Unlike the throughput comparison this is an absolute gate on the
+    fresh file alone: the instrumentation budget is a contract, not a
+    trajectory, so a row over budget fails even if the committed baseline
+    was also over.  Entries without such fields are unaffected.
+    """
+    violations: List[Tuple[str, str, float]] = []
+    for name, row in fresh.get("entries", {}).items():
+        for key, value in row.items():
+            if "overhead_fraction" not in key:
+                continue
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            if float(value) > budget:
+                violations.append((name, key, float(value)))
+    return violations
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail when a freshly recorded BENCH_*.json regresses "
@@ -111,6 +144,13 @@ def main(argv: List[str] | None = None) -> int:
         help="guard only machine-independent ratio metrics (speedup); "
         "use when baseline and fresh runs came from different machines",
     )
+    parser.add_argument(
+        "--overhead-budget",
+        type=float,
+        default=DEFAULT_OVERHEAD_BUDGET,
+        help="max allowed *overhead_fraction* in the fresh file "
+        "(default 0.05 = 5%%)",
+    )
     args = parser.parse_args(argv)
     try:
         baseline = json.loads(args.baseline.read_text())
@@ -118,9 +158,11 @@ def main(argv: List[str] | None = None) -> int:
         regressions = find_regressions(
             baseline, fresh, args.threshold, args.ratio_only
         )
+        violations = find_overhead_violations(fresh, args.overhead_budget)
     except (OSError, ValueError) as exc:
         print(f"check_regression: {exc}", file=sys.stderr)
         return 2
+    status = 0
     if regressions:
         print(f"{len(regressions)} throughput regression(s) > {args.threshold:.0%}:")
         for name, field, base, now, ratio in regressions:
@@ -128,7 +170,17 @@ def main(argv: List[str] | None = None) -> int:
                 f"  {name}.{field}: {base:.3f} -> {now:.3f} "
                 f"({ratio:.2f}x of baseline)"
             )
-        return 1
+        status = 1
+    if violations:
+        print(
+            f"{len(violations)} instrumentation overhead(s) "
+            f"> {args.overhead_budget:.0%} budget:"
+        )
+        for name, field, value in violations:
+            print(f"  {name}.{field}: {value:.4f}")
+        status = 1
+    if status:
+        return status
     compared = sum(
         1
         for name, row in baseline.get("entries", {}).items()

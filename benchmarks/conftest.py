@@ -24,6 +24,7 @@ BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_kernels.json"
 BENCH_CLUSTER_JSON = pathlib.Path(__file__).parent / "BENCH_cluster.json"
 BENCH_PACKET_JSON = pathlib.Path(__file__).parent / "BENCH_packet.json"
 BENCH_ADAPTIVE_JSON = pathlib.Path(__file__).parent / "BENCH_adaptive.json"
+BENCH_OBS_JSON = pathlib.Path(__file__).parent / "BENCH_obs.json"
 
 
 @pytest.fixture
@@ -73,6 +74,12 @@ def packet_record():
 def adaptive_record():
     """Merge one named entry into benchmarks/BENCH_adaptive.json."""
     return _make_recorder(BENCH_ADAPTIVE_JSON, "bench-adaptive/v1")
+
+
+@pytest.fixture
+def obs_record():
+    """Merge one named entry into benchmarks/BENCH_obs.json."""
+    return _make_recorder(BENCH_OBS_JSON, "bench-obs/v1")
 
 
 def run_once(benchmark, fn, *args, **kwargs):

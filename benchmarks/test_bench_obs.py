@@ -1,0 +1,47 @@
+"""Telemetry overhead benchmark: disabled is free, enabled stays under 5%.
+
+Records the ``bench-obs/v1`` rows of the ``obs-overhead`` experiment
+(:mod:`repro.experiments.obs_overhead`) in ``benchmarks/BENCH_obs.json``:
+
+* packet plane - the n=1023 regional-hotspot WebWave scenario with a live
+  :class:`~repro.obs.Telemetry` registry (sampled request spans, gossip
+  and heap counters) vs the :data:`~repro.obs.NULL` default;
+* rate plane - the n=1e5 adaptive kernel over a fixed round count with
+  per-round counters, the frontier gauge, and sampled phase timers vs the
+  same run un-instrumented.
+
+The acceptance gates live here: trajectories bit-identical in every row
+(telemetry only reads state) and ``overhead_fraction`` at or under the 5%
+budget that ``check_regression.py --overhead-budget`` also enforces on
+the committed file.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.obs_overhead import OVERHEAD_BUDGET, run_obs_overhead
+
+
+def test_bench_obs_overhead(benchmark, save_report, obs_record):
+    """Enabled-with-sampling telemetry costs <= 5%, changes nothing."""
+    result = run_once(benchmark, run_obs_overhead)
+    save_report("obs_overhead", result.report())
+    for name, payload in result.as_json().items():
+        obs_record(name, payload)
+
+    planes = {row.plane for row in result.rows}
+    assert planes == {"packet", "rate"}, planes
+
+    for row in result.rows:
+        # Telemetry never feeds back into a trajectory.
+        assert row.parity_bit_identical, row
+        # Enabled-with-sampling stays within the instrumentation budget.
+        assert row.overhead_fraction <= OVERHEAD_BUDGET, row
+        # The instrumented run actually measured something.
+        assert row.counters_recorded > 0, row
+
+    by_plane = {row.plane: row for row in result.rows}
+    assert by_plane["packet"].nodes == 1023, by_plane["packet"]
+    assert by_plane["rate"].nodes == 100_000, by_plane["rate"]
+    assert by_plane["packet"].spans_recorded > 0, by_plane["packet"]

@@ -51,6 +51,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from ..core.frontier import batch_incident_edges, sorted_unique
+from ..obs.telemetry import resolve as _resolve_telemetry
 from ..core.kernel import (
     FlatTree,
     degree_edge_alphas,
@@ -167,6 +168,10 @@ class BatchEngine:
         "_op_count",
         "_dense_rounds",
         "_sparse_rounds",
+        "_tel",
+        "_tel_dense",
+        "_tel_sparse",
+        "_tel_ops",
     )
 
     def __init__(
@@ -178,6 +183,7 @@ class BatchEngine:
         *,
         adaptive: bool = True,
         density_threshold: float = 0.5,
+        telemetry=None,
     ) -> None:
         self.flat = flat
         n = flat.n
@@ -208,6 +214,15 @@ class BatchEngine:
         self._op_count = 0
         self._dense_rounds = 0
         self._sparse_rounds = 0
+        self._tel = tel = _resolve_telemetry(telemetry)
+        if tel.enabled:
+            self._tel_dense = tel.counter("cluster.batch.dense_rounds")
+            self._tel_sparse = tel.counter("cluster.batch.sparse_rounds")
+            self._tel_ops = tel.counter("cluster.batch.ops")
+        else:
+            self._tel_dense = None
+            self._tel_sparse = None
+            self._tel_ops = None
         self._alloc_scratch()
 
     def _alloc_scratch(self) -> None:
@@ -468,6 +483,9 @@ class BatchEngine:
         self._round += 1
         self._dense_rounds += 1
         self._op_count += d * m
+        if self._tel.enabled:
+            self._tel_dense.add(1)
+            self._tel_ops.add(d * m)
 
     def _step_sparse(self, act: np.ndarray) -> None:
         """One round over the active ``(doc, edge)`` pairs only.
@@ -481,6 +499,9 @@ class BatchEngine:
         self._round += 1
         self._sparse_rounds += 1
         self._op_count += int(act.size)
+        if self._tel.enabled:
+            self._tel_sparse.add(1)
+            self._tel_ops.add(int(act.size))
         if act.size == 0:  # quiescent: the whole stack is at a fixed point
             return
         flat = self.flat

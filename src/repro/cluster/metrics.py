@@ -55,6 +55,28 @@ class TickStats:
     converged: Optional[int] = None
     frozen: int = 0
 
+    def to_record(self) -> Dict:
+        """A JSON-ready ndjson record (``type: "tick_stats"``).
+
+        Per-node totals are summarized (max/sum) rather than inlined -
+        the streaming sink is for health series, not state dumps; full
+        node vectors stay in :meth:`ClusterRuntime.document_records`.
+        """
+        totals = np.asarray(self.node_totals, dtype=np.float64)
+        return {
+            "type": "tick_stats",
+            "tick": self.tick,
+            "documents": self.documents,
+            "total_rate": self.total_rate,
+            "mass": self.mass,
+            "node_max": float(totals.max()) if totals.size else 0.0,
+            "node_sum": float(totals.sum()) if totals.size else 0.0,
+            "sq_distance": self.sq_distance,
+            "sq_target": self.sq_target,
+            "converged": self.converged,
+            "frozen": self.frozen,
+        }
+
 
 def merge_tick_stats(parts: Sequence[TickStats]) -> TickStats:
     """Sum shard-local stats for one tick into the cluster-wide record."""
@@ -133,6 +155,28 @@ class ClusterSnapshot:
         "conv%",
         "frozen%",
     ]
+
+    def to_record(self) -> Dict:
+        """A JSON-ready ndjson record (``type: "cluster_snapshot"``).
+
+        The one serialization path shared by cluster reporting and the
+        telemetry sink: :meth:`ClusterRuntime.snapshot` streams exactly
+        this record, and :meth:`ClusterMetrics.records` re-serializes a
+        collected run the same way.
+        """
+        return {
+            "type": "cluster_snapshot",
+            "tick": self.tick,
+            "documents": self.documents,
+            "total_rate": self.total_rate,
+            "mass": self.mass,
+            "max_load": self.max_load,
+            "max_utilization": self.max_utilization,
+            "fairness": self.fairness,
+            "tlb_gap": self.tlb_gap,
+            "converged_fraction": self.converged_fraction,
+            "frozen_fraction": self.frozen_fraction,
+        }
 
     def as_row(self) -> List:
         return [
@@ -222,6 +266,11 @@ class ClusterMetrics:
             precision=3,
             title=title,
         )
+
+    def records(self) -> List[Dict]:
+        """Every snapshot as its ndjson record (see
+        :meth:`ClusterSnapshot.to_record`)."""
+        return [s.to_record() for s in self._snapshots]
 
     def as_dict(self) -> Dict[str, List]:
         """Machine-readable series (for the benchmark JSON records)."""

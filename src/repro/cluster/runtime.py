@@ -45,6 +45,7 @@ import numpy as np
 from ..core.kernel import FlatTree, degree_edge_alphas, fixed_edge_alphas, flatten, resettle_served
 from ..core.tree import RoutingTree
 from ..core.webfold import webfold
+from ..obs.telemetry import resolve as _resolve_telemetry
 from .batch import BatchEngine
 from .metrics import ClusterMetrics, ClusterSnapshot, TickStats, snapshot_from_stats
 from .prune import PrunedTree, demand_closure, induced_subtree, pruned_edge_alphas
@@ -110,6 +111,7 @@ class _Cohort:
         rates: np.ndarray,
         served: np.ndarray,
         adaptive: bool = True,
+        telemetry=None,
     ) -> None:
         self.pruned = pruned
         self.engine = BatchEngine(
@@ -118,6 +120,7 @@ class _Cohort:
             served[None, :],
             edge_alpha,
             adaptive=adaptive,
+            telemetry=telemetry,
         )
         self.doc_ids: List[str] = [doc_id]
         self._rows: Dict[str, int] = {doc_id: 0}
@@ -186,6 +189,14 @@ class ClusterRuntime:
         set_rates / scale / resettle) that mutates it.  Trajectories are
         bit-identical to ``adaptive=False``; steady-state ticks cost
         O(active cohorts).
+    telemetry:
+        An :class:`repro.obs.Telemetry` registry shared with every cohort
+        engine, or ``None`` for the ambient default (normally the no-op
+        :data:`repro.obs.NULL`).  When enabled the runtime counts ticks,
+        cohort freezes and wakes, samples per-tick wall time into a
+        histogram, tracks active-cohort and frozen-fraction gauges, and
+        streams every :meth:`snapshot` as a ``cluster_snapshot`` record.
+        Purely observational: trajectories are bit-identical either way.
     """
 
     def __init__(
@@ -198,6 +209,7 @@ class ClusterRuntime:
         tolerance: float = 1e-3,
         prune: bool = True,
         adaptive: bool = True,
+        telemetry=None,
     ) -> None:
         if callable(trees) and not isinstance(trees, Mapping):
             self._tree_source: Callable[[int], RoutingTree] = trees
@@ -227,6 +239,23 @@ class ClusterRuntime:
         self._active_cohorts: Dict[Tuple[int, bytes], _Cohort] = {}
         self._n: Optional[int] = None
         self._tick = 0
+        # Telemetry seam (see repro.obs): cohort engines share the
+        # runtime's registry so batch-level counters aggregate catalog-wide.
+        self._tel = tel = _resolve_telemetry(telemetry)
+        if tel.enabled:
+            self._tel_ticks = tel.counter("cluster.ticks")
+            self._tel_freezes = tel.counter("cluster.cohort_freezes")
+            self._tel_wakes = tel.counter("cluster.cohort_wakes")
+            self._tel_active = tel.gauge("cluster.active_cohorts")
+            self._tel_tick_hist = tel.histogram("cluster.tick_seconds")
+            self._tel_tick_timing = tel.sampler("cluster.tick_timing")
+        else:
+            self._tel_ticks = None
+            self._tel_freezes = None
+            self._tel_wakes = None
+            self._tel_active = None
+            self._tel_tick_hist = None
+            self._tel_tick_timing = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -278,7 +307,10 @@ class ClusterRuntime:
 
     def _wake(self, home: int, key: bytes, cohort: _Cohort) -> None:
         """(Re)enter a cohort into the tick loop after a mutation."""
-        self._active_cohorts[(home, key)] = cohort
+        cohort_key = (home, key)
+        if self._tel.enabled and cohort_key not in self._active_cohorts:
+            self._tel_wakes.add(1)
+        self._active_cohorts[cohort_key] = cohort
 
     def _drop_cohort(self, home: int, key: bytes) -> None:
         self._active_cohorts.pop((home, key), None)
@@ -456,6 +488,7 @@ class ClusterRuntime:
                     pruned.restrict(rates_arr),
                     pruned.restrict(served_arr),
                     adaptive=self._adaptive,
+                    telemetry=self._tel,
                 )
                 group.cohorts[key] = cohort
                 self._doc_home[doc_id] = home
@@ -585,6 +618,9 @@ class ClusterRuntime:
         no-op) is dropped from the loop until a lifecycle event wakes it,
         so steady-state ticks cost O(active cohorts), not O(catalog).
         """
+        tel = self._tel
+        timing = tel.enabled and self._tel_tick_timing.hit()
+        t0 = tel.clock() if timing else 0.0
         frozen = None
         for cohort_key, cohort in self._active_cohorts.items():
             engine = cohort.engine
@@ -598,6 +634,13 @@ class ClusterRuntime:
             for cohort_key in frozen:
                 del self._active_cohorts[cohort_key]
         self._tick += 1
+        if tel.enabled:
+            self._tel_ticks.add(1)
+            self._tel_active.set(len(self._active_cohorts))
+            if frozen:
+                self._tel_freezes.add(len(frozen))
+            if timing:
+                self._tel_tick_hist.observe(tel.clock() - t0)
 
     def tick_stats(self) -> TickStats:
         """The additive per-tick aggregates (shard-mergeable)."""
@@ -629,8 +672,18 @@ class ClusterRuntime:
         )
 
     def snapshot(self) -> "ClusterSnapshot":
-        """One :class:`~repro.cluster.metrics.ClusterSnapshot` of right now."""
-        return snapshot_from_stats(self.tick_stats(), self._capacities)
+        """One :class:`~repro.cluster.metrics.ClusterSnapshot` of right now.
+
+        With telemetry enabled the snapshot is also streamed to the sink
+        as a ``cluster_snapshot`` record and the frozen-fraction gauge is
+        refreshed - the periodic-export seam :meth:`drive` relies on.
+        """
+        snap = snapshot_from_stats(self.tick_stats(), self._capacities)
+        tel = self._tel
+        if tel.enabled:
+            tel.gauge_set("cluster.frozen_fraction", snap.frozen_fraction)
+            tel.emit(snap.to_record())
+        return snap
 
     def document_records(self) -> List[DocumentRecord]:
         """Dense per-document state (rates + served), sorted by doc id."""

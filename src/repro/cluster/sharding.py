@@ -212,6 +212,10 @@ def run_sharded(
     else:
         with multiprocessing.Pool(processes=len(specs)) as pool:
             results = pool.map(run_shard, specs)
+    # Workers run with NullTelemetry (registries don't cross processes);
+    # the merge happens in the parent, so its cost is observable here.
+    tel = runtime._tel
+    t0 = tel.clock() if tel.enabled else 0.0
     metrics = ClusterMetrics()
     for per_tick in zip(*(r.stats for r in results)):
         metrics.append(
@@ -221,4 +225,7 @@ def run_sharded(
     for result in results:
         merged.extend(result.records)
     runtime.restore(sorted(merged, key=lambda r: r.doc_id), runtime.tick_count + ticks)
+    if tel.enabled:
+        tel.phase_add("cluster.shard_merge", tel.clock() - t0)
+        tel.count("cluster.sharded_runs")
     return metrics

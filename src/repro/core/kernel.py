@@ -69,6 +69,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from . import policy
+from ..obs.telemetry import resolve as _resolve_telemetry
 from .frontier import incident_edges_of, sorted_unique
 from .tree import RoutingTree
 
@@ -342,6 +343,14 @@ class SyncEngine:
     density_threshold:
         Fraction of edges above which a round falls back to the dense
         vectorized path (the sparse gathers stop paying for themselves).
+    telemetry:
+        An :class:`repro.obs.Telemetry` registry, or ``None`` for the
+        ambient default (:func:`repro.obs.current`, normally the no-op
+        :data:`repro.obs.NULL`).  When enabled the engine counts
+        dense/sparse rounds and dense fallbacks, tracks the frontier-size
+        gauge, and records sampled gather/apply/scatter phase wall time.
+        Telemetry only *reads* engine state, so instrumented runs stay
+        bit-identical to disabled ones.
 
     The engine owns mutable state (loads, the gossip ring, the incremental
     forwarded vector); facades expose it read-only.
@@ -365,6 +374,12 @@ class SyncEngine:
         "_sparse_rounds",
         "_edges_processed",
         "_served_cache",
+        "_tel",
+        "_tel_dense",
+        "_tel_sparse",
+        "_tel_fallback",
+        "_tel_frontier",
+        "_tel_phases",
     )
 
     def __init__(
@@ -379,6 +394,7 @@ class SyncEngine:
         quantum: float = 0.0,
         adaptive: bool = True,
         density_threshold: float = 0.5,
+        telemetry=None,
     ) -> None:
         self.flat = flat
         self._e = _as_vector(spontaneous, flat.n, "spontaneous rates")
@@ -401,6 +417,22 @@ class SyncEngine:
         self._sparse_rounds = 0
         self._edges_processed = 0
         self._served_cache: Optional[Tuple[int, Tuple[float, ...]]] = None
+        # Telemetry seam: instruments are resolved once so the per-round
+        # cost when enabled is direct attribute adds; when disabled the
+        # only cost anywhere is the ``tel.enabled`` check itself.
+        self._tel = tel = _resolve_telemetry(telemetry)
+        if tel.enabled:
+            self._tel_dense = tel.counter("kernel.dense_rounds")
+            self._tel_sparse = tel.counter("kernel.sparse_rounds")
+            self._tel_fallback = tel.counter("kernel.dense_fallbacks")
+            self._tel_frontier = tel.gauge("kernel.frontier_size")
+            self._tel_phases = tel.sampler("kernel.round_phases")
+        else:
+            self._tel_dense = None
+            self._tel_sparse = None
+            self._tel_fallback = None
+            self._tel_frontier = None
+            self._tel_phases = None
 
     # -- read-only views -------------------------------------------------
     @property
@@ -493,6 +525,7 @@ class SyncEngine:
         ``density_threshold`` of the edges, the dense path otherwise (and
         always when adaptive stepping is off).
         """
+        tel = self._tel
         if self._adaptive:
             active = self._active
             if (
@@ -500,11 +533,34 @@ class SyncEngine:
                 and active.size <= self._density * self.flat.edge_child.shape[0]
             ):
                 self._step_sparse(active)
+                if tel.enabled:
+                    self._tel_sparse.add(1)
+                    self._tel_frontier.set(self.frontier_size)
                 return
+            if tel.enabled and active is not None:
+                # Adaptive stepping wanted a sparse round but the frontier
+                # was too dense to pay for itself.
+                self._tel_fallback.add(1)
         self._step_dense(track=self._adaptive)
+        if tel.enabled:
+            self._tel_dense.add(1)
+            self._tel_frontier.set(self.frontier_size)
+
+    def _phase_sample(self, t0: float, t1: float, t2: float) -> None:
+        """Record one sampled round's gather/apply/scatter wall times."""
+        tel = self._tel
+        t3 = tel.clock()
+        tel.phase_add("kernel.round/gather", t1 - t0)
+        tel.phase_add("kernel.round/apply", t2 - t1)
+        tel.phase_add("kernel.round/scatter", t3 - t2)
 
     def _step_dense(self, track: bool) -> None:
         """The full-width round; with ``track`` it also re-derives the frontier."""
+        tel = self._tel
+        timing = tel.enabled and self._tel_phases.hit()
+        t0 = t1 = t2 = 0.0
+        if timing:
+            t0 = tel.clock()
         flat = self.flat
         ep, ec = flat.edge_parent, flat.edge_child
         loads = self._loads
@@ -539,11 +595,15 @@ class SyncEngine:
                 alpha,
             )
 
+        if timing:
+            t1 = tel.clock()
         n = flat.n
         delta = np.bincount(ec, weights=transfer, minlength=n) - np.bincount(
             ep, weights=transfer, minlength=n
         )
         new_loads = loads + delta
+        if timing:
+            t2 = tel.clock()
         if np.any(new_loads < 0.0):
             # A load clamped at zero breaks the incremental A bookkeeping
             # (only reachable with unsafe alphas); recompute from scratch.
@@ -591,6 +651,8 @@ class SyncEngine:
         self._round += 1
         self._dense_rounds += 1
         self._edges_processed += int(ec.shape[0])
+        if timing:
+            self._phase_sample(t0, t1, t2)
 
     def _step_sparse(self, idx: np.ndarray) -> None:
         """One round over the active edges only (bit-identical to dense).
@@ -606,6 +668,11 @@ class SyncEngine:
         self._edges_processed += int(idx.size)
         if idx.size == 0:  # floating-point fixed point: nothing can move
             return
+        tel = self._tel
+        timing = tel.enabled and self._tel_phases.hit()
+        t0 = t1 = t2 = 0.0
+        if timing:
+            t0 = tel.clock()
         flat = self.flat
         loads = self._loads
         fwd = self._fwd
@@ -627,6 +694,8 @@ class SyncEngine:
                 lp, lc, lp / cp, lc / cc, np.minimum(cp, cc), fc, alpha
             )
 
+        if timing:
+            t1 = tel.clock()
         # delta over the touched nodes, in dense association order:
         # (child scatter) - (parent bincount), then loads + delta.
         touched = sorted_unique(np.concatenate([ep, ec]))
@@ -637,10 +706,14 @@ class SyncEngine:
         )
         old = loads[touched]
         new = old + delta
+        if timing:
+            t2 = tel.clock()
         if np.any(new < 0.0):
             loads[touched] = np.maximum(new, 0.0)
             self._fwd = forwarded_rates(flat, self._e, loads)
             self._active = None
+            if timing:
+                self._phase_sample(t0, t1, t2)
             return
         loads[touched] = new
         moved = touched[new != old]
@@ -648,12 +721,16 @@ class SyncEngine:
             # Globally load-static round: skip the fwd update (see
             # _step_dense) - the floating-point fixed point.
             self._active = np.zeros(0, dtype=np.intp)
+            if timing:
+                self._phase_sample(t0, t1, t2)
             return
         fwd[ec] = fc - transfer
         kept = idx[transfer != 0.0]
         self._active = sorted_unique(
             np.concatenate([incident_edges_of(flat, moved), kept])
         )
+        if timing:
+            self._phase_sample(t0, t1, t2)
 
 
 # ----------------------------------------------------------------------
@@ -668,13 +745,26 @@ class ForestEngine:
     overlay edge per tree.
     """
 
-    __slots__ = ("homes", "_flats", "_e", "_loads", "_alpha", "_fwd", "_scale", "_round")
+    __slots__ = (
+        "homes",
+        "_flats",
+        "_e",
+        "_loads",
+        "_alpha",
+        "_fwd",
+        "_scale",
+        "_round",
+        "_tel",
+        "_tel_rounds",
+    )
 
     def __init__(
         self,
         flats: Mapping[int, FlatTree],
         demands: Mapping[int, Sequence[float]],
         edge_alphas: Mapping[int, np.ndarray],
+        *,
+        telemetry=None,
     ) -> None:
         self.homes: Tuple[int, ...] = tuple(sorted(flats))
         self._flats = dict(flats)
@@ -690,6 +780,8 @@ class ForestEngine:
         }
         self._scale = 1.0 / len(self.homes)
         self._round = 0
+        self._tel = tel = _resolve_telemetry(telemetry)
+        self._tel_rounds = tel.counter("kernel.forest_rounds") if tel.enabled else None
 
     @property
     def round(self) -> int:
@@ -734,6 +826,8 @@ class ForestEngine:
                 self._loads[home] = new_loads
                 self._fwd[home][flat.edge_child] -= transfer
         self._round += 1
+        if self._tel.enabled:
+            self._tel_rounds.add(1)
 
 
 # ----------------------------------------------------------------------
@@ -762,6 +856,8 @@ class AsyncEngine:
         "_activations",
         "_children",
         "_served_cache",
+        "_tel",
+        "_tel_activations",
     )
 
     def __init__(
@@ -772,6 +868,8 @@ class AsyncEngine:
         edge_alpha: np.ndarray,
         rng,
         max_staleness: int = 0,
+        *,
+        telemetry=None,
     ) -> None:
         self.flat = flat
         self._e = _as_vector(spontaneous, flat.n, "spontaneous rates")
@@ -787,6 +885,10 @@ class AsyncEngine:
         self._activations = 0
         self._children = flat.children_lists()
         self._served_cache: Optional[Tuple[int, Tuple[float, ...]]] = None
+        self._tel = tel = _resolve_telemetry(telemetry)
+        self._tel_activations = (
+            tel.counter("kernel.async_activations") if tel.enabled else None
+        )
 
     @property
     def activations(self) -> int:
@@ -850,6 +952,8 @@ class AsyncEngine:
         if len(self._history) > self._staleness + 1:
             self._history.pop(0)
         self._activations += 1
+        if self._tel.enabled:
+            self._tel_activations.add(1)
 
 
 # ----------------------------------------------------------------------

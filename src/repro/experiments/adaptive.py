@@ -31,13 +31,13 @@ acceptance gates (>= 5x rate-plane convergence wall clock at n = 10^5,
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..analysis.tables import format_table
+from ..obs import timed
 from ..cluster.runtime import ClusterRuntime
 from ..cluster.scenarios import population_workload, workload_rate_matrix
 from ..core.kernel import (
@@ -226,17 +226,17 @@ def run_rate_adaptive(
         alphas = degree_edge_alphas(flat)
 
         sparse = SyncEngine(flat, rates, rates, alphas)
-        start = time.perf_counter()
-        while not sparse.converged and sparse.round < cap:
-            sparse.step()
-        sparse_seconds = time.perf_counter() - start
+        with timed() as sparse_t:
+            while not sparse.converged and sparse.round < cap:
+                sparse.step()
+        sparse_seconds = sparse_t.seconds
         rounds = sparse.round
 
         dense = SyncEngine(flat, rates, rates, alphas, adaptive=False)
-        start = time.perf_counter()
-        for _ in range(rounds):
-            dense.step()
-        dense_seconds = time.perf_counter() - start
+        with timed() as dense_t:
+            for _ in range(rounds):
+                dense.step()
+        dense_seconds = dense_t.seconds
 
         stats = sparse.step_stats
         rows.append(
@@ -343,14 +343,14 @@ def run_cluster_steady_state(
         for doc_id in churn_ids:
             rt.set_rates(doc_id, rt.document_rates(doc_id) * 1.25)
 
-    start = time.perf_counter()
-    for _ in range(measured_ticks):
-        runtime.tick()
-    adaptive_seconds = time.perf_counter() - start
-    start = time.perf_counter()
-    for _ in range(measured_ticks):
-        dense_runtime.tick()
-    dense_seconds = time.perf_counter() - start
+    with timed() as adaptive_t:
+        for _ in range(measured_ticks):
+            runtime.tick()
+    adaptive_seconds = adaptive_t.seconds
+    with timed() as dense_t:
+        for _ in range(measured_ticks):
+            dense_runtime.tick()
+    dense_seconds = dense_t.seconds
 
     parity = all(
         np.array_equal(

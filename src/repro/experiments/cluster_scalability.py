@@ -24,13 +24,13 @@ kernel's ``BENCH_kernels.json`` trajectory.
 
 from __future__ import annotations
 
-import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..analysis.tables import format_table
+from ..obs import timed
 from ..cluster.runtime import ClusterRuntime
 from ..cluster.scenarios import population_workload, workload_rate_matrix
 from ..core.kernel import SyncEngine, degree_edge_alphas, flatten
@@ -157,10 +157,10 @@ def run_cluster_scalability(
                 active += cohort.engine.docs * cohort.pruned.n
         for _ in range(3):
             runtime.tick()  # warmup
-        start = time.perf_counter()
-        for _ in range(timed_ticks):
-            runtime.tick()
-        batch_tick_s = (time.perf_counter() - start) / timed_ticks
+        with timed() as batch_t:
+            for _ in range(timed_ticks):
+                runtime.tick()
+        batch_tick_s = batch_t.per(timed_ticks)
 
         # --- sequential: one SyncEngine per document -------------------
         engines = [
@@ -169,11 +169,11 @@ def run_cluster_scalability(
         ]
         for engine in engines:
             engine.step()  # warmup
-        start = time.perf_counter()
-        for _ in range(sequential_ticks):
-            for engine in engines:
-                engine.step()
-        seq_tick_s = (time.perf_counter() - start) / sequential_ticks
+        with timed() as seq_t:
+            for _ in range(sequential_ticks):
+                for engine in engines:
+                    engine.step()
+        seq_tick_s = seq_t.per(sequential_ticks)
 
         # --- parity: fresh runs, compare dense trajectories ------------
         runtime = ClusterRuntime({home: tree}, adaptive=False)

@@ -23,11 +23,11 @@ via ``benchmarks/test_bench_packet.py``.
 
 from __future__ import annotations
 
-import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.tables import format_table
+from ..obs import timed
 from ..core.tree import kary_tree
 from ..documents.catalog import Catalog
 from ..protocols.reference import ReferenceWebWaveScenario
@@ -171,15 +171,15 @@ def run_packet_scalability(
             height, documents=documents, hot_leaves=hot_leaves, hot_rate=hot_rate
         )
 
-        start = time.perf_counter()
-        reference = ReferenceWebWaveScenario(workload, config)
-        reference_metrics = reference.run()
-        reference_wall = time.perf_counter() - start
+        with timed() as reference_t:
+            reference = ReferenceWebWaveScenario(workload, config)
+            reference_metrics = reference.run()
+        reference_wall = reference_t.seconds
 
-        start = time.perf_counter()
-        packet = WebWaveScenario(workload, config)
-        packet_metrics = packet.run()
-        packet_wall = time.perf_counter() - start
+        with timed() as packet_t:
+            packet = WebWaveScenario(workload, config)
+            packet_metrics = packet.run()
+        packet_wall = packet_t.seconds
 
         requests = len(reference.requests)
         rows.append(

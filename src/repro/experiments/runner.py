@@ -27,6 +27,7 @@ from .fig4 import run_fig4
 from .fig6 import run_fig6
 from .fig7 import run_fig7
 from .gamma import run_gamma_study
+from .obs_overhead import run_obs_overhead
 from .overhead import run_overhead
 from .packet_scalability import run_packet_scalability
 from .scalability import run_rate_scalability, run_scalability
@@ -57,6 +58,10 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[], object]]] = {
     "packet-scalability": (
         "Packet plane: rebuilt array simulator vs the pre-refactor reference",
         run_packet_scalability,
+    ),
+    "obs-overhead": (
+        "Telemetry overhead: enabled-with-sampling vs disabled, parity-pinned",
+        run_obs_overhead,
     ),
     "diffusion": ("E-X2: spectral vs measured diffusion convergence", run_diffusion_theory),
     "alpha": ("E-X3: diffusion-parameter sweep", run_alpha_ablation),
@@ -100,11 +105,34 @@ def main(argv: List[str] | None = None) -> int:
     sub.add_parser("list", help="list all experiment ids")
     run_parser = sub.add_parser("run", help="run one or more experiments")
     run_parser.add_argument("ids", nargs="*", help="experiment ids (or 'all')")
+    run_parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="stream telemetry snapshots/spans to this ndjson file",
+    )
+    report_parser = sub.add_parser(
+        "obs-report", help="render a dashboard from a telemetry ndjson file"
+    )
+    report_parser.add_argument("path", nargs="?", help="ndjson file to render")
     args = parser.parse_args(argv)
 
     if args.command == "list":
         print(registry_listing())
         return 0
+
+    if args.command == "obs-report":
+        from ..obs import report as obs_report
+
+        if not args.path:
+            print(
+                "obs-report needs the ndjson path a previous "
+                "`run --telemetry PATH` wrote; registered experiments:\n"
+                + registry_listing(),
+                file=sys.stderr,
+            )
+            return 2
+        return obs_report.main([args.path])
 
     if not args.ids:
         print(
@@ -113,21 +141,53 @@ def main(argv: List[str] | None = None) -> int:
         )
         return 2
 
-    ids = sorted(EXPERIMENTS) if args.ids == ["all"] else args.ids
-    status = 0
-    for exp_id in ids:
-        if exp_id not in EXPERIMENTS:
+    telemetry = None
+    sink = None
+    if args.telemetry is not None:
+        from ..obs import NdjsonSink, Telemetry
+
+        try:
+            sink = NdjsonSink(args.telemetry)
+        except OSError as exc:
             print(
-                f"unknown experiment {exp_id!r}; registered experiments:\n"
-                + registry_listing(),
+                f"cannot open telemetry sink {args.telemetry!r}: {exc}\n"
+                "registered experiments:\n" + registry_listing(),
                 file=sys.stderr,
             )
-            status = 2
-            continue
-        result = run_experiment(exp_id)
-        print(f"\n=== {exp_id}: {EXPERIMENTS[exp_id][0]} ===\n")
-        print(result.report())
+            return 2
+        telemetry = Telemetry(sink)
+
+    ids = sorted(EXPERIMENTS) if args.ids == ["all"] else args.ids
+    status = 0
+    try:
+        for exp_id in ids:
+            if exp_id not in EXPERIMENTS:
+                print(
+                    f"unknown experiment {exp_id!r}; registered experiments:\n"
+                    + registry_listing(),
+                    file=sys.stderr,
+                )
+                status = 2
+                continue
+            result = _run_with_telemetry(exp_id, telemetry)
+            print(f"\n=== {exp_id}: {EXPERIMENTS[exp_id][0]} ===\n")
+            print(result.report())
+    finally:
+        if telemetry is not None:
+            telemetry.export(source="webwave-experiments")
+            telemetry.close()
+            print(f"telemetry written to {args.telemetry}", file=sys.stderr)
     return status
+
+
+def _run_with_telemetry(exp_id: str, telemetry) -> object:
+    """Run one experiment, ambiently routing engines to ``telemetry``."""
+    if telemetry is None:
+        return run_experiment(exp_id)
+    from ..obs import use
+
+    with use(telemetry):
+        return run_experiment(exp_id)
 
 
 if __name__ == "__main__":

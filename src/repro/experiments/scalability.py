@@ -24,12 +24,12 @@ trajectory of the kernel hot path.
 
 from __future__ import annotations
 
-import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from ..analysis.metrics import ProtocolSummary, summarize_scenario
 from ..analysis.tables import format_table
+from ..obs import timed
 from ..core.kernel import (
     SyncEngine,
     degree_edge_alphas,
@@ -231,29 +231,29 @@ def run_rate_scalability(
         # (the adaptive active-set story has its own experiment and
         # BENCH_adaptive.json record).
         engine = SyncEngine(flat, rates, rates, alphas, adaptive=False)
-        start = time.perf_counter()
-        for _ in range(timed_rounds):
-            engine.step()
-        kernel_rps = timed_rounds / (time.perf_counter() - start)
+        with timed() as kernel_t:
+            for _ in range(timed_rounds):
+                engine.step()
+        kernel_rps = kernel_t.rate(timed_rounds)
 
         amap = edge_alpha_map(flat, alphas)
         loads = list(map(float, rates))
-        start = time.perf_counter()
-        for _ in range(reference_rounds):
-            loads = reference_round(tree, rates, loads, amap)
-        seed_rps = reference_rounds / (time.perf_counter() - start)
+        with timed() as seed_t:
+            for _ in range(reference_rounds):
+                loads = reference_round(tree, rates, loads, amap)
+        seed_rps = seed_t.rate(reference_rounds)
 
         target = np.asarray(
             webfold(tree, rates).assignment.served, dtype=np.float64
         )
         engine = SyncEngine(flat, rates, rates, alphas, adaptive=False)
         threshold = engine.distance_to(target) * reduction
-        start = time.perf_counter()
-        converged = engine.distance_to(target) <= threshold
-        while not converged and engine.round < max_rounds:
-            engine.step()
+        with timed() as conv_t:
             converged = engine.distance_to(target) <= threshold
-        conv_seconds = time.perf_counter() - start
+            while not converged and engine.round < max_rounds:
+                engine.step()
+                converged = engine.distance_to(target) <= threshold
+        conv_seconds = conv_t.seconds
         rows.append(
             RateScalabilityRow(
                 nodes=n,

@@ -1,0 +1,52 @@
+"""Shared wall-clock timing helper for experiments and benches.
+
+Replaces the copy-pasted ``start = time.perf_counter(); ...; elapsed =
+time.perf_counter() - start`` blocks that had accreted across
+``experiments/*.py`` with one context manager::
+
+    with timed() as t:
+        for _ in range(rounds):
+            engine.step()
+    rounds_per_sec = t.rate(rounds)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["timed"]
+
+
+class timed:
+    """Measure the wall time of a ``with`` block.
+
+    ``seconds`` is live inside the block (time since entry) and frozen to
+    the block's duration on exit.  ``rate(count)`` and ``per(count)`` cover
+    the two derived forms every experiment wants; both guard against a
+    zero-duration block so rates on trivially fast bodies stay finite.
+    """
+
+    __slots__ = ("seconds", "_clock", "_t0")
+
+    _MIN_SECONDS = 1e-12  # clamp for rate()/per() on immeasurably fast blocks
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self.seconds = 0.0
+
+    def __enter__(self) -> "timed":
+        self._t0 = self._clock()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.seconds = self._clock() - self._t0
+        return False
+
+    def rate(self, count: int) -> float:
+        """Events per second: ``count / seconds``."""
+        return count / max(self.seconds, self._MIN_SECONDS)
+
+    def per(self, count: int) -> float:
+        """Seconds per event: ``seconds / count``."""
+        return self.seconds / max(count, 1)

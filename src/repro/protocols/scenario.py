@@ -53,6 +53,7 @@ from ..core.load import LoadAssignment
 from ..core.tree import RoutingTree
 from ..core.webfold import webfold
 from ..net.topology import Topology
+from ..obs.telemetry import resolve as _resolve_telemetry
 from ..router.packetfilter import DPF_MATCH_COST
 from ..router.router import Router
 from ..sim.engine import Simulator
@@ -239,6 +240,15 @@ class Scenario:
         Optional underlying topology supplying per-link delays and per-node
         capacities; when omitted, every tree edge gets ``config.hop_delay``
         and every server ``config.default_capacity``.
+    telemetry:
+        An :class:`repro.obs.Telemetry` registry, or ``None`` for the
+        ambient default (normally the no-op :data:`repro.obs.NULL`).  When
+        enabled, a sampled subset of requests gets a full lifecycle trace
+        span (arrival -> hops -> serve/shed) and :meth:`run` exports one
+        snapshot with simulator heap stats and message tallies.  Sampling
+        is decided at arrival; spans are *assembled* from the request
+        records after the run, so the datapath cost is one set lookup per
+        arrival and the simulated trajectory is bit-identical either way.
     """
 
     name = "base"
@@ -248,6 +258,8 @@ class Scenario:
         workload: Workload,
         config: Optional[ScenarioConfig] = None,
         topology: Optional[Topology] = None,
+        *,
+        telemetry=None,
     ) -> None:
         self.workload = workload
         self.config = config or ScenarioConfig()
@@ -282,6 +294,17 @@ class Scenario:
         # flushed onto the Router/FilterTable objects after the run.
         self._seen: List[int] = [0] * self.tree.n
         self._diverted: List[int] = [0] * self.tree.n
+        # Telemetry seam: request-span sampling is decided at arrival
+        # (one set membership check when disabled: _sampled_reqs is None),
+        # the spans themselves are assembled after the run from the
+        # Request records the datapath already keeps.
+        self._tel = tel = _resolve_telemetry(telemetry)
+        if tel.enabled:
+            self._span_sampler = tel.sampler("packet.request_spans")
+            self._sampled_reqs: Optional[set] = set()
+        else:
+            self._span_sampler = None
+            self._sampled_reqs = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -433,6 +456,9 @@ class Scenario:
         if self.sim.now >= self.config.warmup:
             self._generated_after_warmup += 1
         self.requests.append(request)
+        sampled = self._sampled_reqs
+        if sampled is not None and self._span_sampler.hit():
+            sampled.add(request.req_id)
         self.handle_arrival(request, origin)
 
     def handle_arrival(self, request: Request, node: int) -> None:
@@ -608,7 +634,50 @@ class Scenario:
         self.sim.run(until=self.config.duration * _DRAIN_FACTOR)
         self._realize_completions()
         self._flush_router_counters()
-        return self._collect()
+        metrics = self._collect()
+        tel = self._tel
+        if tel.enabled:
+            self._emit_telemetry(metrics)
+        return metrics
+
+    def _emit_telemetry(self, metrics: ScenarioMetrics) -> None:
+        """Emit sampled request spans and one end-of-run snapshot."""
+        tel = self._tel
+        for req_id in sorted(self._sampled_reqs):
+            request = self.requests[req_id]
+            if request.completed_at is not None:
+                outcome = "served"
+            elif request.served_by is not None:
+                outcome = "in_flight"  # served, reply past the drain horizon
+            else:
+                outcome = "shed"  # still walking when the run ended
+            tel.span(
+                "request",
+                req_id=request.req_id,
+                doc=request.doc_id,
+                origin=request.origin,
+                created_at=request.created_at,
+                hops=request.hops,
+                path=list(request.path),
+                served_by=request.served_by,
+                served_at=request.served_at,
+                completed_at=request.completed_at,
+                response_time=(
+                    request.response_time
+                    if request.completed_at is not None
+                    else None
+                ),
+                outcome=outcome,
+            )
+        sim_stats = self.sim.stats()
+        tel.gauge_set("sim.events_executed", sim_stats["events_executed"])
+        tel.gauge_set("sim.pending_events", sim_stats["pending"])
+        tel.gauge_set("sim.heap_compactions", sim_stats["compactions"])
+        tel.gauge_set("packet.requests_generated", len(self.requests))
+        tel.gauge_set("packet.requests_completed", metrics.completed)
+        for kind, count in sorted(self.messages.items()):
+            tel.gauge_set(f"packet.messages.{kind}", count)
+        tel.export(plane="packet", scenario=self.name)
 
     def _flush_router_counters(self) -> None:
         """Fold the walker's tallies onto the Router/FilterTable objects.

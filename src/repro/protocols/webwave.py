@@ -102,8 +102,10 @@ class WebWaveScenario(Scenario):
         config: Optional[ScenarioConfig] = None,
         topology=None,
         protocol: Optional[WebWaveProtocolConfig] = None,
+        *,
+        telemetry=None,
     ) -> None:
-        super().__init__(workload, config, topology)
+        super().__init__(workload, config, topology, telemetry=telemetry)
         self.protocol = protocol or WebWaveProtocolConfig()
         flat = self.flat
         n = flat.n
@@ -160,6 +162,18 @@ class WebWaveScenario(Scenario):
         self._stagnant_nodes: set = set()
         self._delegated_to: List[bool] = [False] * n
         self.tunnel_count = 0
+        # Protocol-plane telemetry (base Scenario already owns spans).
+        tel = self._tel
+        if tel.enabled:
+            self._tel_gossip_delivered = tel.counter("packet.gossip_delivered")
+            self._tel_gossip_skipped = tel.counter("packet.gossip_skipped")
+            self._tel_diffusions = tel.counter("packet.diffusion_passes")
+            self._tel_frontier = tel.gauge("packet.diffusion_frontier")
+        else:
+            self._tel_gossip_delivered = None
+            self._tel_gossip_skipped = None
+            self._tel_diffusions = None
+            self._tel_frontier = None
 
     # ------------------------------------------------------------------
     @property
@@ -212,11 +226,13 @@ class WebWaveScenario(Scenario):
         ep, ec = flat.edge_parent, flat.edge_child
         changed = loads != self._last_gossip
         self._last_gossip = loads
+        delivered = 0
         for delay, ks in self._gossip_down:
             # parent -> child: each child updates its view of the parent
             ks = ks[changed[ep[ks]]]
             if ks.size == 0:
                 continue
+            delivered += int(ks.size)
 
             def deliver_down(ks=ks, values=loads[ep[ks]]) -> None:
                 self._view_parent[ec[ks]] = values
@@ -227,11 +243,15 @@ class WebWaveScenario(Scenario):
             ks = ks[changed[ec[ks]]]
             if ks.size == 0:
                 continue
+            delivered += int(ks.size)
 
             def deliver_up(ks=ks, values=loads[ec[ks]]) -> None:
                 self._view_child[ks] = values
 
             self.sim.post(self.sim.now + delay, deliver_up)
+        if self._tel.enabled:
+            self._tel_gossip_delivered.add(delivered)
+            self._tel_gossip_skipped.add(2 * int(ec.shape[0]) - delivered)
 
     # ------------------------------------------------------------------
     def _diffuse(self) -> None:
@@ -274,6 +294,9 @@ class WebWaveScenario(Scenario):
             out=act,
         )
         active = np.flatnonzero(act)
+        if self._tel.enabled:
+            self._tel_diffusions.add(1)
+            self._tel_frontier.set(int(active.size))
         order = active[np.argsort(self._bfs_rank[active], kind="stable")]
         for i in order.tolist():
             self._diffuse_node(i, loads, now)

@@ -86,6 +86,7 @@ class Simulator:
         self._heap: List[Tuple[float, int, int, object]] = []
         self._cancelled = 0
         self._events_executed = 0
+        self._compactions = 0
         self._running = False
 
     # ------------------------------------------------------------------
@@ -103,6 +104,20 @@ class Simulator:
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued."""
         return len(self._heap) - self._cancelled
+
+    @property
+    def compactions(self) -> int:
+        """Times the heap was rebuilt to evict cancelled entries."""
+        return self._compactions
+
+    def stats(self) -> dict:
+        """Heap/event counters for telemetry snapshots."""
+        return {
+            "events_executed": self._events_executed,
+            "pending": self.pending,
+            "cancelled_queued": self._cancelled,
+            "compactions": self._compactions,
+        }
 
     # ------------------------------------------------------------------
     def _check_time(self, time: float) -> float:
@@ -215,6 +230,7 @@ class Simulator:
         ]
         heapq.heapify(self._heap)
         self._cancelled = 0
+        self._compactions += 1
 
     # ------------------------------------------------------------------
     def step(self) -> bool:

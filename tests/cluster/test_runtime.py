@@ -311,6 +311,61 @@ class TestSharding:
         with pytest.raises(ValueError, match="different ticks"):
             merge_tick_stats([s1, s2])
 
+    def test_merge_tick_stats_rejects_empty_parts(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            merge_tick_stats([])
+
+    def test_merge_tick_stats_single_shard_is_identity(self, tree):
+        runtime = ClusterRuntime({0: tree}, track_tlb=True)
+        runtime.publish("a", 0, _leaf_rates(tree, [(15, 1.0)]))
+        runtime.tick()
+        stats = runtime.tick_stats()
+        merged = merge_tick_stats([stats])
+        assert merged.tick == stats.tick
+        assert merged.documents == stats.documents
+        assert merged.total_rate == stats.total_rate
+        assert merged.mass == stats.mass
+        assert merged.frozen == stats.frozen
+        assert merged.sq_distance == stats.sq_distance
+        assert merged.sq_target == stats.sq_target
+        assert merged.converged == stats.converged
+        assert np.array_equal(
+            np.asarray(merged.node_totals), np.asarray(stats.node_totals)
+        )
+
+    def test_merge_tick_stats_untracked_parts_stay_none(self, tree):
+        runtime = ClusterRuntime({0: tree})  # TLB tracking off
+        runtime.publish("a", 0, _leaf_rates(tree, [(15, 1.0)]))
+        merged = merge_tick_stats([runtime.tick_stats()] * 2)
+        assert merged.sq_distance is None
+        assert merged.sq_target is None
+        assert merged.converged is None
+
+    def test_tick_stats_to_record_is_json_ready(self, tree):
+        import json
+
+        runtime = ClusterRuntime({0: tree}, track_tlb=True)
+        runtime.publish("a", 0, _leaf_rates(tree, [(15, 1.0)]))
+        runtime.tick()
+        record = runtime.tick_stats().to_record()
+        assert record["type"] == "tick_stats"
+        assert record["documents"] == 1
+        json.dumps(record)  # numpy scalars must already be converted
+
+    def test_snapshot_to_record_matches_fields(self, tree):
+        import json
+
+        runtime = ClusterRuntime({0: tree}, track_tlb=True)
+        runtime.publish("a", 0, _leaf_rates(tree, [(15, 1.0)]))
+        runtime.tick()
+        snap = runtime.snapshot()
+        record = snap.to_record()
+        assert record["type"] == "cluster_snapshot"
+        assert record["tick"] == snap.tick
+        assert record["max_load"] == snap.max_load
+        assert record["frozen_fraction"] == snap.frozen_fraction
+        json.dumps(record)
+
 
 class TestEventValidation:
     def test_bad_events(self):

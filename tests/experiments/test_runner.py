@@ -66,3 +66,64 @@ class TestCli:
         err = capsys.readouterr().err
         assert "no experiment id given" in err
         assert "cluster-scalability" in err
+
+
+class TestTelemetryCli:
+    def test_obs_overhead_registered(self):
+        assert "obs-overhead" in EXPERIMENTS
+
+    def test_run_with_telemetry_writes_stream(self, tmp_path, capsys):
+        path = tmp_path / "tel.ndjson"
+        assert main(["run", "fig2", "--telemetry", str(path)]) == 0
+        err = capsys.readouterr().err
+        assert f"telemetry written to {path}" in err
+        from repro.obs import read_ndjson
+
+        records = read_ndjson(str(path))
+        # at minimum the final runner-level export landed in the stream
+        assert any(r.get("type") == "snapshot" for r in records)
+
+    def test_run_with_unwritable_telemetry_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "missing-dir" / "tel.ndjson"
+        assert main(["run", "fig2", "--telemetry", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot open telemetry sink" in err
+        # misuse prints the registry, matching the unknown-id paths
+        assert "cluster-scalability" in err
+
+    def test_obs_report_renders_stream(self, tmp_path, capsys):
+        path = tmp_path / "tel.ndjson"
+        assert main(["run", "fig2", "--telemetry", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["obs-report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry dashboard" in out
+
+    def test_obs_report_without_path_exits_2(self, capsys):
+        assert main(["obs-report"]) == 2
+        err = capsys.readouterr().err
+        assert "obs-report needs the ndjson path" in err
+        assert "cluster-scalability" in err
+
+    def test_obs_report_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["obs-report", str(tmp_path / "absent.ndjson")]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read telemetry stream" in err
+
+    def test_ambient_telemetry_reaches_engines(self, tmp_path):
+        from repro.obs import Telemetry, use
+        from repro.core.kernel import SyncEngine, degree_edge_alphas, flatten
+        from repro.core.tree import kary_tree
+
+        tree = kary_tree(2, 3)
+        flat = flatten(tree)
+        rates = [1.0] * tree.n
+        tel = Telemetry()
+        with use(tel):
+            engine = SyncEngine(flat, rates, rates, degree_edge_alphas(flat))
+            engine.step()
+        counters = tel.snapshot()["counters"]
+        assert (
+            counters.get("kernel.dense_rounds", 0)
+            + counters.get("kernel.sparse_rounds", 0)
+        ) == 1

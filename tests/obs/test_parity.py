@@ -1,0 +1,196 @@
+"""Telemetry parity: enabled vs disabled runs are bit-identical.
+
+The structural guarantee (telemetry only *reads* plane state) checked
+end to end on all three planes, hypothesis-driven where runs are cheap:
+an instrumented run and an un-instrumented run of the same workload must
+produce the exact same trajectory, while the instrumented run must have
+actually recorded something (so these tests cannot pass vacuously).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import random
+
+from repro.cluster.runtime import ClusterRuntime
+from repro.cluster.scenarios import rerooted_trees
+from repro.core.kernel import (
+    AsyncEngine,
+    ForestEngine,
+    SyncEngine,
+    degree_edge_alphas,
+    flatten,
+)
+from repro.core.tree import kary_tree
+from repro.obs import MemorySink, Telemetry
+from repro.protocols.scenario import ScenarioConfig
+from repro.protocols.webwave import WebWaveScenario
+from repro.traffic.workload import hot_document_workload
+from repro.documents.catalog import Catalog
+
+from tests.helpers import trees_with_rates
+
+
+class TestRatePlaneParity:
+    @given(trees_with_rates(min_nodes=2, max_nodes=25),
+           st.integers(min_value=1, max_value=30))
+    @settings(max_examples=25, deadline=None)
+    def test_sync_engine_bit_identical(self, tree_rates, rounds):
+        tree, rates = tree_rates
+        flat = flatten(tree)
+        alphas = degree_edge_alphas(flat)
+        tel = Telemetry(sample_interval=1)  # sample every round: worst case
+
+        plain = SyncEngine(flat, rates, rates, alphas)
+        instrumented = SyncEngine(flat, rates, rates, alphas, telemetry=tel)
+        for _ in range(rounds):
+            plain.step()
+            instrumented.step()
+
+        assert np.array_equal(plain.loads, instrumented.loads)
+        assert plain.round == instrumented.round
+        assert plain.converged == instrumented.converged
+        counters = tel.snapshot()["counters"]
+        assert (
+            counters.get("kernel.dense_rounds", 0)
+            + counters.get("kernel.sparse_rounds", 0)
+        ) == rounds
+
+    @given(trees_with_rates(min_nodes=2, max_nodes=20),
+           st.integers(min_value=1, max_value=20))
+    @settings(max_examples=15, deadline=None)
+    def test_dense_engine_bit_identical(self, tree_rates, rounds):
+        tree, rates = tree_rates
+        flat = flatten(tree)
+        alphas = degree_edge_alphas(flat)
+        tel = Telemetry(sample_interval=1)
+
+        plain = SyncEngine(flat, rates, rates, alphas, adaptive=False)
+        instrumented = SyncEngine(
+            flat, rates, rates, alphas, adaptive=False, telemetry=tel
+        )
+        for _ in range(rounds):
+            plain.step()
+            instrumented.step()
+
+        assert np.array_equal(plain.loads, instrumented.loads)
+        assert tel.snapshot()["counters"]["kernel.dense_rounds"] == rounds
+
+    def test_async_engine_bit_identical(self):
+        tree = kary_tree(2, 4)
+        flat = flatten(tree)
+        rates = [float(i % 7) for i in range(tree.n)]
+        alphas = degree_edge_alphas(flat)
+        tel = Telemetry()
+        order = [(i * 13 + 5) % tree.n for i in range(200)]
+
+        plain = AsyncEngine(flat, rates, rates, alphas, random.Random(3))
+        instrumented = AsyncEngine(
+            flat, rates, rates, alphas, random.Random(3), telemetry=tel
+        )
+        for node in order:
+            plain.activate(node)
+            instrumented.activate(node)
+
+        assert np.array_equal(plain.loads, instrumented.loads)
+        assert tel.snapshot()["counters"]["kernel.async_activations"] == 200
+
+    def test_forest_engine_bit_identical(self):
+        base = kary_tree(2, 3)
+        trees = rerooted_trees(base, [base.root, 3])
+        flats = {h: flatten(t) for h, t in trees.items()}
+        demands = {
+            h: [float((i * 3 + h) % 5) for i in range(base.n)] for h in trees
+        }
+        alphas = {h: degree_edge_alphas(flats[h]) for h in trees}
+        tel = Telemetry()
+
+        plain = ForestEngine(flats, demands, alphas)
+        instrumented = ForestEngine(flats, demands, alphas, telemetry=tel)
+        for _ in range(40):
+            plain.step()
+            instrumented.step()
+
+        assert np.array_equal(plain.total_loads(), instrumented.total_loads())
+        assert tel.snapshot()["counters"]["kernel.forest_rounds"] == 40
+
+
+class TestClusterPlaneParity:
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=15))
+    @settings(max_examples=15, deadline=None)
+    def test_runtime_bit_identical(self, documents, ticks):
+        tree = kary_tree(2, 3)
+        sink = MemorySink()
+        tel = Telemetry(sink, sample_interval=1)
+
+        def build(telemetry):
+            runtime = ClusterRuntime({tree.root: tree}, telemetry=telemetry)
+            for d in range(documents):
+                rates = [float((i + d) % 4) for i in range(tree.n)]
+                runtime.publish(f"doc{d}", tree.root, rates)
+            return runtime
+
+        plain, instrumented = build(None), build(tel)
+        for _ in range(ticks):
+            plain.tick()
+            instrumented.tick()
+
+        for d in range(documents):
+            assert np.array_equal(
+                plain.document_loads(f"doc{d}"),
+                instrumented.document_loads(f"doc{d}"),
+            )
+        counters = tel.snapshot()["counters"]
+        assert counters["cluster.ticks"] == ticks
+
+    def test_snapshot_streams_identical_record(self):
+        tree = kary_tree(2, 3)
+        sink = MemorySink()
+        tel = Telemetry(sink)
+        plain = ClusterRuntime({tree.root: tree})
+        instrumented = ClusterRuntime({tree.root: tree}, telemetry=tel)
+        for runtime in (plain, instrumented):
+            runtime.publish("d", tree.root, [1.0] * tree.n)
+            runtime.tick()
+        snap_plain, snap_inst = plain.snapshot(), instrumented.snapshot()
+        assert snap_plain == snap_inst
+        assert sink.records[-1] == snap_inst.to_record()
+
+
+class TestPacketPlaneParity:
+    @pytest.mark.parametrize("height", [2, 3])
+    def test_webwave_scenario_bit_identical(self, height):
+        tree = kary_tree(2, height)
+        catalog = Catalog.generate(home=tree.root, count=4)
+        rates = [0.0] * tree.n
+        for leaf in tree.leaves():
+            rates[leaf] = 8.0
+        workload = hot_document_workload(tree, catalog, rates, zipf_s=0.9)
+        config = ScenarioConfig(
+            duration=8.0, warmup=2.0, seed=1, default_capacity=20.0
+        )
+        tel = Telemetry(sample_interval=1)  # span every request: worst case
+
+        plain = WebWaveScenario(workload, config)
+        instrumented = WebWaveScenario(workload, config, telemetry=tel)
+        metrics_plain = plain.run()
+        metrics_inst = instrumented.run()
+
+        assert metrics_plain.completed == metrics_inst.completed
+        assert metrics_plain.generated == metrics_inst.generated
+        assert metrics_plain.response_times == metrics_inst.response_times
+        assert metrics_plain.hops == metrics_inst.hops
+        assert metrics_plain.served_by_node == metrics_inst.served_by_node
+        assert metrics_plain.messages == metrics_inst.messages
+        # the instrumented run recorded the lifecycle of every request
+        assert len(tel.spans) == len(instrumented.requests)
+        gauges = tel.snapshot()["gauges"]
+        assert gauges["packet.requests_generated"] == len(
+            instrumented.requests
+        )
+        assert gauges["sim.events_executed"] > 0
