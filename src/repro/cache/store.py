@@ -148,3 +148,33 @@ class CacheStore:
     def hit_ratio(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Serialization (service-plane checkpoints)
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, object]:
+        """Complete store state, preserving recency order and hit counts."""
+        return {
+            "capacity": self._capacity,
+            "policy": self._policy,
+            "entries": [[doc_id, count] for doc_id, count in self._entries.items()],
+            "pinned": sorted(self._pinned),
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "CacheStore":
+        """Rebuild a store with identical contents, order and counters."""
+        store = cls(capacity=state["capacity"], policy=state["policy"])
+        store._entries = OrderedDict(
+            (doc_id, int(count)) for doc_id, count in state["entries"]
+        )
+        store._pinned = set(state["pinned"])
+        store.insertions = int(state["insertions"])
+        store.evictions = int(state["evictions"])
+        store.hits = int(state["hits"])
+        store.misses = int(state["misses"])
+        return store

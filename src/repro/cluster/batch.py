@@ -46,20 +46,23 @@ contiguous array views.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
+from ..core.config import EngineConfig, config_from_kwargs
 from ..core.frontier import batch_incident_edges, sorted_unique
 from ..obs.telemetry import resolve as _resolve_telemetry
 from ..core.kernel import (
     FlatTree,
     degree_edge_alphas,
+    flatten,
     forwarded_rates,
     resettle_served,
     subtree_accumulate,
 )
 from ..core.policy import clip_edge_transfers
+from ..core.tree import tree_from_parent_map
 
 __all__ = [
     "BatchEngine",
@@ -181,10 +184,26 @@ class BatchEngine:
         initial_served=None,
         edge_alpha: Optional[np.ndarray] = None,
         *,
-        adaptive: bool = True,
-        density_threshold: float = 0.5,
+        config: Optional[EngineConfig] = None,
         telemetry=None,
+        **legacy,
     ) -> None:
+        cfg = config_from_kwargs(EngineConfig, config, legacy, owner="BatchEngine")
+        # The batched engine is the uniform-capacity, zero-delay,
+        # continuous-transfer configuration only; reject the per-document
+        # variants up front with the offending field named.
+        if cfg.capacities is not None:
+            raise ValueError(
+                "capacities: BatchEngine only runs the uniform-capacity update"
+            )
+        if cfg.gossip_delay != 0:
+            raise ValueError(
+                "gossip_delay: BatchEngine only runs the zero-delay update"
+            )
+        if cfg.quantum != 0.0:
+            raise ValueError(
+                "quantum: BatchEngine only runs continuous transfers"
+            )
         self.flat = flat
         n = flat.n
         self._e = _as_matrix(spontaneous, n, "spontaneous rates")
@@ -208,8 +227,8 @@ class BatchEngine:
         self._contig = flat.root == 0
         self._fwd = batch_forwarded_rates(flat, self._e, self._loads)
         self._round = 0
-        self._adaptive = bool(adaptive)
-        self._density = float(density_threshold)
+        self._adaptive = bool(cfg.adaptive)
+        self._density = float(cfg.density_threshold)
         self._active: Optional[np.ndarray] = None  # None = everything active
         self._op_count = 0
         self._dense_rounds = 0
@@ -569,3 +588,95 @@ class BatchEngine:
         """Advance every document by ``rounds`` synchronous rounds."""
         for _ in range(rounds):
             self.step()
+
+    # -- Steppable: snapshot / state / load_state --------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Cheap JSON-ready health record (the Steppable observation)."""
+        return {
+            "type": "engine_snapshot",
+            "kind": "batch_engine",
+            "round": self._round,
+            "docs": self.docs,
+            "nodes": int(self.flat.n),
+            "mass": float(self._loads.sum()),
+            "frontier_size": self.frontier_size,
+            "quiescent": self.quiescent,
+        }
+
+    def state(self) -> Dict[str, object]:
+        """Complete resumable state as a JSON-compatible dict.
+
+        The forwarded matrix ``A`` and the flat ``(doc, edge)`` frontier
+        are serialized *as maintained* - recomputing either on restore
+        could differ in the low bits from the incremental bookkeeping and
+        break the bit-identical round-trip law.
+        """
+        return {
+            "kind": "batch_engine",
+            "parent_map": [int(p) for p in self.flat.tree.parent_map],
+            "edge_alpha": self._alpha.tolist(),
+            "adaptive": bool(self._adaptive),
+            "density_threshold": self._density,
+            "round": self._round,
+            "spontaneous": self._e.tolist(),
+            "loads": self._loads.tolist(),
+            "fwd": self._fwd.tolist(),
+            "active": (
+                None if self._active is None else [int(i) for i in self._active]
+            ),
+            "op_count": self._op_count,
+            "dense_rounds": self._dense_rounds,
+            "sparse_rounds": self._sparse_rounds,
+        }
+
+    def load_state(self, state: Mapping[str, object]) -> None:
+        """Restore a :meth:`state` capture in place (bit-identical resume)."""
+        kind = state.get("kind")
+        if kind != "batch_engine":
+            raise ValueError(
+                f"cannot load state of kind {kind!r} into a 'batch_engine'"
+            )
+        parent_map = tuple(int(p) for p in state["parent_map"])
+        if parent_map != self.flat.tree.parent_map:
+            raise ValueError(
+                "batch_engine state was captured on a different tree"
+            )
+        n = self.flat.n
+        self._e = np.asarray(state["spontaneous"], dtype=np.float64).reshape(-1, n)
+        self._loads = np.asarray(state["loads"], dtype=np.float64).reshape(-1, n)
+        self._alpha = np.asarray(state["edge_alpha"], dtype=np.float64)
+        self._fwd = np.asarray(state["fwd"], dtype=np.float64).reshape(-1, n)
+        self._round = int(state["round"])
+        self._adaptive = bool(state["adaptive"])
+        self._density = float(state["density_threshold"])
+        active = state.get("active")
+        self._active = None if active is None else np.asarray(active, dtype=np.intp)
+        self._op_count = int(state["op_count"])
+        self._dense_rounds = int(state["dense_rounds"])
+        self._sparse_rounds = int(state["sparse_rounds"])
+        self._alloc_scratch()
+
+    @classmethod
+    def from_state(
+        cls, state: Mapping[str, object], *, telemetry=None
+    ) -> "BatchEngine":
+        """Rebuild an engine from nothing but a :meth:`state` dict."""
+        kind = state.get("kind")
+        if kind != "batch_engine":
+            raise ValueError(
+                f"cannot load state of kind {kind!r} into a 'batch_engine'"
+            )
+        flat = flatten(
+            tree_from_parent_map([int(p) for p in state["parent_map"]])
+        )
+        # reshape keeps the (0, n) case valid (tolist of an empty stack
+        # drops the column count)
+        engine = cls(
+            flat,
+            np.asarray(state["spontaneous"], dtype=np.float64).reshape(-1, flat.n),
+            np.asarray(state["loads"], dtype=np.float64).reshape(-1, flat.n),
+            np.asarray(state["edge_alpha"], dtype=np.float64),
+            telemetry=telemetry,
+        )
+        engine.load_state(state)
+        return engine

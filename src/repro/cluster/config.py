@@ -1,0 +1,67 @@
+"""Frozen, validated construction config for the cluster runtime.
+
+The cluster plane's counterpart to :class:`repro.core.config.EngineConfig`:
+:class:`ClusterConfig` holds every policy knob
+:class:`~repro.cluster.runtime.ClusterRuntime` used to take as loose
+keyword arguments, validated at construction so a bad value raises
+``ValueError`` naming the offending field.  The runtime accepts
+``config=ClusterConfig(...)``; the old keywords remain as a deprecated
+shim via :func:`repro.core.config.config_from_kwargs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["ClusterConfig"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Construction-time policy knobs for one catalog runtime.
+
+    Attributes
+    ----------
+    alpha:
+        ``None`` for the paper's degree-based edge coefficients, or one
+        fixed safety-capped value in ``(0, 1]`` for every edge.
+    capacities:
+        Optional positive per-server capacity vector; utilization
+        snapshots divide by it (default: unit capacities).
+    track_tlb:
+        Compute per-document TLB optima (WebFold) at lifecycle changes
+        and report TLB gap / converged fraction per tick.
+    tolerance:
+        Relative distance below which a document counts as converged.
+    prune:
+        Run each cohort on its demand closure (identical trajectories,
+        far less work).
+    adaptive:
+        Active-set cohort engines plus cohort freezing (bit-identical to
+        dense stepping).
+    """
+
+    alpha: Optional[float] = None
+    capacities: Optional[Tuple[float, ...]] = None
+    track_tlb: bool = False
+    tolerance: float = 1e-3
+    prune: bool = True
+    adaptive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.alpha is not None:
+            alpha = float(self.alpha)
+            if not 0.0 < alpha <= 1.0:
+                raise ValueError(f"alpha must be in (0, 1], got {self.alpha!r}")
+            object.__setattr__(self, "alpha", alpha)
+        if self.capacities is not None:
+            caps = tuple(float(c) for c in self.capacities)
+            if not caps or any(c <= 0.0 for c in caps):
+                raise ValueError(
+                    f"capacities must be a non-empty positive vector, "
+                    f"got {self.capacities!r}"
+                )
+            object.__setattr__(self, "capacities", caps)
+        if not self.tolerance > 0.0:
+            raise ValueError(f"tolerance must be > 0, got {self.tolerance!r}")

@@ -42,15 +42,23 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 
 import numpy as np
 
+from ..core.config import EngineConfig, config_from_kwargs
 from ..core.kernel import FlatTree, degree_edge_alphas, fixed_edge_alphas, flatten, resettle_served
-from ..core.tree import RoutingTree
+from ..core.tree import RoutingTree, tree_from_parent_map
 from ..core.webfold import webfold
 from ..obs.telemetry import resolve as _resolve_telemetry
 from .batch import BatchEngine
+from .config import ClusterConfig
 from .metrics import ClusterMetrics, ClusterSnapshot, TickStats, snapshot_from_stats
 from .prune import PrunedTree, demand_closure, induced_subtree, pruned_edge_alphas
 
-__all__ = ["ClusterError", "ClusterEvent", "DocumentRecord", "ClusterRuntime"]
+__all__ = [
+    "ClusterConfig",
+    "ClusterError",
+    "ClusterEvent",
+    "DocumentRecord",
+    "ClusterRuntime",
+]
 
 
 class ClusterError(ValueError):
@@ -119,7 +127,7 @@ class _Cohort:
             rates[None, :],
             served[None, :],
             edge_alpha,
-            adaptive=adaptive,
+            config=EngineConfig(adaptive=adaptive),
             telemetry=telemetry,
         )
         self.doc_ids: List[str] = [doc_id]
@@ -203,14 +211,13 @@ class ClusterRuntime:
         self,
         trees: Union[Mapping[int, RoutingTree], Callable[[int], RoutingTree]],
         *,
-        alpha: Optional[float] = None,
-        capacities: Optional[Sequence[float]] = None,
-        track_tlb: bool = False,
-        tolerance: float = 1e-3,
-        prune: bool = True,
-        adaptive: bool = True,
+        config: Optional[ClusterConfig] = None,
         telemetry=None,
+        **legacy,
     ) -> None:
+        cfg = config_from_kwargs(
+            ClusterConfig, config, legacy, owner="ClusterRuntime"
+        )
         if callable(trees) and not isinstance(trees, Mapping):
             self._tree_source: Callable[[int], RoutingTree] = trees
         else:
@@ -223,14 +230,16 @@ class ClusterRuntime:
                     raise ClusterError(f"no routing tree for home {home}") from None
 
             self._tree_source = _lookup
-        self._alpha = alpha
+        self._alpha = cfg.alpha
         self._capacities = (
-            None if capacities is None else np.asarray(capacities, dtype=np.float64)
+            None
+            if cfg.capacities is None
+            else np.asarray(cfg.capacities, dtype=np.float64)
         )
-        self._track_tlb = bool(track_tlb)
-        self._tolerance = float(tolerance)
-        self._prune = bool(prune)
-        self._adaptive = bool(adaptive)
+        self._track_tlb = bool(cfg.track_tlb)
+        self._tolerance = float(cfg.tolerance)
+        self._prune = bool(cfg.prune)
+        self._adaptive = bool(cfg.adaptive)
         self._groups: Dict[int, _HomeGroup] = {}
         self._doc_home: Dict[str, int] = {}
         self._doc_cohort: Dict[str, bytes] = {}
@@ -642,6 +651,10 @@ class ClusterRuntime:
             if timing:
                 self._tel_tick_hist.observe(tel.clock() - t0)
 
+    def step(self) -> None:
+        """Steppable alias: one catalog tick (see :meth:`tick`)."""
+        self.tick()
+
     def tick_stats(self) -> TickStats:
         """The additive per-tick aggregates (shard-mergeable)."""
         sq_distance = sq_target = None
@@ -707,6 +720,190 @@ class ClusterRuntime:
             [(r.doc_id, r.home, r.rates, r.served) for r in records]
         )
         self._tick = tick
+
+    # ------------------------------------------------------------------
+    # Steppable: full-state serialization (checkpoint/restore)
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, object]:
+        """Complete resumable catalog state as a JSON-compatible dict.
+
+        Unlike :meth:`document_records` (dense per-document vectors, used
+        for the shard merge-back, which *resettles* on restore), this
+        captures the exact engine internals - incremental forwarded
+        matrices, ``(doc, edge)`` frontiers, and the frozen/active flag of
+        every cohort - so :meth:`load_state` resumes bit-identically.
+        Groups and cohorts are serialized in insertion order and rebuilt
+        in the same order, keeping floating-point summation order in the
+        mass/rate reductions identical across the round-trip.
+        """
+        groups = []
+        for home, group in self._groups.items():
+            cohorts = []
+            for key, cohort in group.cohorts.items():
+                mask = np.unpackbits(
+                    np.frombuffer(key, dtype=np.uint8), count=group.flat.n
+                ).astype(bool)
+                cohorts.append(
+                    {
+                        "nodes": [int(i) for i in np.flatnonzero(mask)],
+                        "doc_ids": list(cohort.doc_ids),
+                        "active": (home, key) in self._active_cohorts,
+                        # Targets travel verbatim: lifecycle events update
+                        # them incrementally (scale multiplies in place),
+                        # so recomputing from the current rates on restore
+                        # would differ in the low bits.
+                        "targets": (
+                            None if cohort.targets is None else cohort.targets.tolist()
+                        ),
+                        "target_norms": (
+                            None
+                            if cohort.target_norms is None
+                            else cohort.target_norms.tolist()
+                        ),
+                        "engine": cohort.engine.state(),
+                    }
+                )
+            groups.append(
+                {
+                    "home": int(home),
+                    "parent_map": [int(p) for p in group.tree.parent_map],
+                    "cohorts": cohorts,
+                }
+            )
+        return {
+            "kind": "cluster_runtime",
+            "tick": self._tick,
+            "n": self._n,
+            "alpha": self._alpha,
+            "capacities": (
+                None if self._capacities is None else self._capacities.tolist()
+            ),
+            "track_tlb": self._track_tlb,
+            "tolerance": self._tolerance,
+            "prune": self._prune,
+            "adaptive": self._adaptive,
+            "groups": groups,
+        }
+
+    def load_state(self, state: Mapping[str, object]) -> None:
+        """Replace this runtime's entire catalog with a :meth:`state` capture.
+
+        The existing tree source is kept (future publishes to new homes
+        still resolve through it); everything else - config knobs, groups,
+        cohorts, engines, freeze flags, tick counter - comes from the
+        checkpoint.  TLB targets are restored verbatim rather than
+        recomputed: lifecycle events maintain them incrementally (a
+        uniform scale multiplies in place), so a WebFold recompute from
+        the current rates can differ in the low bits.
+        """
+        kind = state.get("kind")
+        if kind != "cluster_runtime":
+            raise ClusterError(
+                f"cannot load state of kind {kind!r} into a 'cluster_runtime'"
+            )
+        self._alpha = state["alpha"]
+        caps = state.get("capacities")
+        self._capacities = (
+            None if caps is None else np.asarray(caps, dtype=np.float64)
+        )
+        self._track_tlb = bool(state["track_tlb"])
+        self._tolerance = float(state["tolerance"])
+        self._prune = bool(state["prune"])
+        self._adaptive = bool(state["adaptive"])
+        self._n = None if state["n"] is None else int(state["n"])
+        self._groups.clear()
+        self._doc_home.clear()
+        self._doc_cohort.clear()
+        self._active_cohorts.clear()
+        for g in state["groups"]:
+            home = int(g["home"])
+            tree = tree_from_parent_map([int(p) for p in g["parent_map"]])
+            if self._n is not None and tree.n != self._n:
+                raise ClusterError(
+                    f"checkpointed tree for home {home} has {tree.n} nodes, "
+                    f"cluster has {self._n}"
+                )
+            flat = flatten(tree)
+            edge_alpha = (
+                degree_edge_alphas(flat)
+                if self._alpha is None
+                else fixed_edge_alphas(flat, self._alpha)
+            )
+            group = _HomeGroup(home, tree, edge_alpha)
+            self._groups[home] = group
+            for c in g["cohorts"]:
+                mask = np.zeros(tree.n, dtype=bool)
+                mask[np.asarray(c["nodes"], dtype=np.intp)] = True
+                key = np.packbits(mask).tobytes()
+                pruned = induced_subtree(tree, mask)
+                alphas = pruned_edge_alphas(flat, pruned, edge_alpha)
+                eng_state = c["engine"]
+                s = pruned.tree.n
+                rates = np.asarray(
+                    eng_state["spontaneous"], dtype=np.float64
+                ).reshape(-1, s)
+                served = np.asarray(
+                    eng_state["loads"], dtype=np.float64
+                ).reshape(-1, s)
+                doc_ids = list(c["doc_ids"])
+                cohort = _Cohort(
+                    pruned,
+                    alphas,
+                    doc_ids[0],
+                    rates[0],
+                    served[0],
+                    adaptive=self._adaptive,
+                    telemetry=self._tel,
+                )
+                cohort.engine.load_state(eng_state)
+                for doc_id in doc_ids[1:]:
+                    cohort.append_doc(doc_id)
+                group.cohorts[key] = cohort
+                for doc_id in doc_ids:
+                    if doc_id in self._doc_home:
+                        raise ClusterError(
+                            f"duplicate document {doc_id!r} in checkpoint"
+                        )
+                    self._doc_home[doc_id] = home
+                    self._doc_cohort[doc_id] = key
+                if c["active"]:
+                    self._active_cohorts[(home, key)] = cohort
+                if c.get("targets") is not None:
+                    cohort.targets = np.asarray(
+                        c["targets"], dtype=np.float64
+                    ).reshape(-1, s)
+                    cohort.target_norms = np.asarray(
+                        c["target_norms"], dtype=np.float64
+                    )
+                else:
+                    self._extend_targets(cohort, cohort.engine.docs)
+        self._tick = int(state["tick"])
+
+    @classmethod
+    def from_state(
+        cls, state: Mapping[str, object], *, telemetry=None
+    ) -> "ClusterRuntime":
+        """Rebuild a runtime from nothing but a :meth:`state` dict.
+
+        The tree source of the restored runtime covers exactly the homes
+        present in the checkpoint; publishing to a new home afterwards
+        raises :class:`ClusterError` (restore into a runtime constructed
+        with a live tree source via :meth:`load_state` to keep one).
+        """
+        kind = state.get("kind")
+        if kind != "cluster_runtime":
+            raise ClusterError(
+                f"cannot load state of kind {kind!r} into a 'cluster_runtime'"
+            )
+        trees = {
+            int(g["home"]): tree_from_parent_map(
+                [int(p) for p in g["parent_map"]]
+            )
+            for g in state["groups"]
+        }
+        runtime = cls(trees, telemetry=telemetry)
+        runtime.load_state(state)
+        return runtime
 
     def run(
         self,

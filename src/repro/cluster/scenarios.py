@@ -41,6 +41,7 @@ from ..documents.popularity import ZipfPopularity
 from ..sim.rng import RngStreams
 from ..traffic.workload import Workload
 from .metrics import ClusterMetrics
+from .config import ClusterConfig
 from .runtime import ClusterError, ClusterEvent, ClusterRuntime
 
 __all__ = [
@@ -332,11 +333,13 @@ def run_scenario(
     """Build the runtime, publish the catalog, and run the scenario."""
     runtime = ClusterRuntime(
         dict(scenario.trees),
-        alpha=alpha,
-        capacities=scenario.capacities,
-        track_tlb=track_tlb,
-        tolerance=tolerance,
-        prune=prune,
+        config=ClusterConfig(
+            alpha=alpha,
+            capacities=scenario.capacities,
+            track_tlb=track_tlb,
+            tolerance=tolerance,
+            prune=prune,
+        ),
     )
     runtime.publish_many(scenario.documents)
     metrics = runtime.run(

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.tree import RoutingTree
+from .config import ClusterConfig
 from .metrics import ClusterMetrics, TickStats, merge_tick_stats, snapshot_from_stats
 from .runtime import ClusterError, ClusterEvent, ClusterRuntime, DocumentRecord
 
@@ -85,12 +86,14 @@ def run_shard(spec: ShardSpec) -> ShardResult:
     trees = {h: RoutingTree(pm) for h, pm in spec.parent_maps.items()}
     runtime = ClusterRuntime(
         trees,
-        alpha=spec.alpha,
-        capacities=spec.capacities,
-        track_tlb=spec.track_tlb,
-        tolerance=spec.tolerance,
-        prune=spec.prune,
-        adaptive=spec.adaptive,
+        config=ClusterConfig(
+            alpha=spec.alpha,
+            capacities=spec.capacities,
+            track_tlb=spec.track_tlb,
+            tolerance=spec.tolerance,
+            prune=spec.prune,
+            adaptive=spec.adaptive,
+        ),
     )
     for home in sorted(trees):
         runtime._group(home)  # fixes the node-universe size up front

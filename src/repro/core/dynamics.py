@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .kernel import SyncEngine, flatten, resettle_served
+from .kernel import EngineConfig, SyncEngine, flatten, resettle_served
 from .load import LoadAssignment
 from .tree import RoutingTree
 from .webfold import webfold
@@ -204,8 +204,10 @@ def run_tracking(
         base.spontaneous,
         base.served,
         config.edge_alphas(tree),
-        gossip_delay=config.gossip_delay,
-        quantum=config.quantum,
+        config=EngineConfig(
+            gossip_delay=config.gossip_delay,
+            quantum=config.quantum,
+        ),
     )
     distances: List[float] = [engine.distance_to(target_for(rates))]
     pending_recovery: Dict[int, float] = {}

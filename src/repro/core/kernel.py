@@ -63,6 +63,7 @@ round touches the demand closure, not the topology.
 from __future__ import annotations
 
 import math
+import random
 import weakref
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -70,10 +71,12 @@ import numpy as np
 
 from . import policy
 from ..obs.telemetry import resolve as _resolve_telemetry
+from .config import EngineConfig, config_from_kwargs
 from .frontier import incident_edges_of, sorted_unique
-from .tree import RoutingTree
+from .tree import RoutingTree, tree_from_parent_map
 
 __all__ = [
+    "EngineConfig",
     "FlatTree",
     "flatten",
     "degree_edge_alphas",
@@ -90,6 +93,19 @@ __all__ = [
 ]
 
 _EPS = 1e-12
+
+
+def _require_state_kind(state: Mapping[str, object], expected: str) -> None:
+    """Reject cross-kind restores up front with the offending tag."""
+    kind = state.get("kind")
+    if kind != expected:
+        raise ValueError(
+            f"cannot load state of kind {kind!r} into a {expected!r} engine"
+        )
+
+
+def _state_parent_map(state: Mapping[str, object]) -> Tuple[int, ...]:
+    return tuple(int(p) for p in state["parent_map"])  # type: ignore[index]
 
 
 class FlatTree:
@@ -389,27 +405,27 @@ class SyncEngine:
         initial_served: Sequence[float],
         edge_alpha: np.ndarray,
         *,
-        capacities: Optional[Sequence[float]] = None,
-        gossip_delay: int = 0,
-        quantum: float = 0.0,
-        adaptive: bool = True,
-        density_threshold: float = 0.5,
+        config: Optional[EngineConfig] = None,
         telemetry=None,
+        **legacy,
     ) -> None:
+        cfg = config_from_kwargs(EngineConfig, config, legacy, owner="SyncEngine")
         self.flat = flat
         self._e = _as_vector(spontaneous, flat.n, "spontaneous rates")
         self._loads = _as_vector(initial_served, flat.n, "served rates")
         self._alpha = np.asarray(edge_alpha, dtype=np.float64)
         self._caps = (
-            None if capacities is None else _as_vector(capacities, flat.n, "capacities")
+            None
+            if cfg.capacities is None
+            else _as_vector(cfg.capacities, flat.n, "capacities")
         )
-        self._delay = int(gossip_delay)
-        self._quantum = float(quantum)
+        self._delay = cfg.gossip_delay
+        self._quantum = float(cfg.quantum)
         self._history: List[np.ndarray] = [self._loads.copy()]
         self._fwd = forwarded_rates(flat, self._e, self._loads)
         self._round = 0
-        self._adaptive = bool(adaptive) and self._delay == 0
-        self._density = float(density_threshold)
+        self._adaptive = bool(cfg.adaptive) and self._delay == 0
+        self._density = float(cfg.density_threshold)
         # None = every edge is (potentially) active; the first tracked
         # dense round establishes the invariant and shrinks it.
         self._active: Optional[np.ndarray] = None
@@ -732,6 +748,93 @@ class SyncEngine:
         if timing:
             self._phase_sample(t0, t1, t2)
 
+    # -- Steppable: snapshot / state / load_state --------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Cheap JSON-ready health record (the Steppable observation)."""
+        return {
+            "type": "engine_snapshot",
+            "kind": "sync_engine",
+            "round": self._round,
+            "nodes": int(self.flat.n),
+            "mass": float(self._loads.sum()),
+            "max_load": float(self._loads.max()),
+            "frontier_size": self.frontier_size,
+            "converged": self.converged,
+        }
+
+    def state(self) -> Dict[str, object]:
+        """Complete resumable state as a JSON-compatible dict.
+
+        ``fwd`` and ``history`` are serialized *as maintained*, not
+        recomputed from ``(E, L)`` on restore: the incremental bookkeeping
+        can differ from a fresh :func:`forwarded_rates` pass in the low
+        bits, and the round-trip law demands bit-identical trajectories.
+        Python floats round-trip bit-exactly through JSON (shortest-repr),
+        so ``tolist()`` is lossless here.
+        """
+        return {
+            "kind": "sync_engine",
+            "parent_map": [int(p) for p in self.flat.tree.parent_map],
+            "edge_alpha": self._alpha.tolist(),
+            "capacities": None if self._caps is None else self._caps.tolist(),
+            "gossip_delay": self._delay,
+            "quantum": self._quantum,
+            "adaptive": bool(self._adaptive),
+            "density_threshold": self._density,
+            "round": self._round,
+            "spontaneous": self._e.tolist(),
+            "loads": self._loads.tolist(),
+            "fwd": self._fwd.tolist(),
+            "history": [h.tolist() for h in self._history],
+            "active": (
+                None if self._active is None else [int(i) for i in self._active]
+            ),
+            "dense_rounds": self._dense_rounds,
+            "sparse_rounds": self._sparse_rounds,
+            "edges_processed": self._edges_processed,
+        }
+
+    def load_state(self, state: Mapping[str, object]) -> None:
+        """Restore a :meth:`state` capture in place (bit-identical resume)."""
+        _require_state_kind(state, "sync_engine")
+        if _state_parent_map(state) != self.flat.tree.parent_map:
+            raise ValueError(
+                "sync_engine state was captured on a different tree"
+            )
+        self._e = np.asarray(state["spontaneous"], dtype=np.float64)
+        self._loads = np.asarray(state["loads"], dtype=np.float64)
+        self._alpha = np.asarray(state["edge_alpha"], dtype=np.float64)
+        caps = state.get("capacities")
+        self._caps = None if caps is None else np.asarray(caps, dtype=np.float64)
+        self._delay = int(state["gossip_delay"])
+        self._quantum = float(state["quantum"])
+        self._history = [np.asarray(h, dtype=np.float64) for h in state["history"]]
+        self._fwd = np.asarray(state["fwd"], dtype=np.float64)
+        self._round = int(state["round"])
+        self._adaptive = bool(state["adaptive"])
+        self._density = float(state["density_threshold"])
+        active = state.get("active")
+        self._active = None if active is None else np.asarray(active, dtype=np.intp)
+        self._dense_rounds = int(state["dense_rounds"])
+        self._sparse_rounds = int(state["sparse_rounds"])
+        self._edges_processed = int(state["edges_processed"])
+        self._served_cache = None
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, object], *, telemetry=None) -> "SyncEngine":
+        """Rebuild an engine from nothing but a :meth:`state` dict."""
+        _require_state_kind(state, "sync_engine")
+        flat = flatten(tree_from_parent_map(list(_state_parent_map(state))))
+        engine = cls(
+            flat,
+            state["spontaneous"],
+            state["loads"],
+            np.asarray(state["edge_alpha"], dtype=np.float64),
+            telemetry=telemetry,
+        )
+        engine.load_state(state)
+        return engine
+
 
 # ----------------------------------------------------------------------
 # Forest engine: one tree per home server, coupled through total loads
@@ -828,6 +931,79 @@ class ForestEngine:
         self._round += 1
         if self._tel.enabled:
             self._tel_rounds.add(1)
+
+    # -- Steppable: snapshot / state / load_state --------------------------
+    def snapshot(self) -> Dict[str, object]:
+        totals = self.total_loads()
+        return {
+            "type": "engine_snapshot",
+            "kind": "forest_engine",
+            "round": self._round,
+            "homes": len(self.homes),
+            "nodes": int(totals.shape[0]),
+            "mass": float(totals.sum()),
+            "max_load": float(totals.max()),
+        }
+
+    def state(self) -> Dict[str, object]:
+        """Complete resumable state (per-home trees, loads, incremental fwd)."""
+        return {
+            "kind": "forest_engine",
+            "round": self._round,
+            "homes": [
+                {
+                    "home": int(h),
+                    "parent_map": [
+                        int(p) for p in self._flats[h].tree.parent_map
+                    ],
+                    "demand": self._e[h].tolist(),
+                    "loads": self._loads[h].tolist(),
+                    "edge_alpha": self._alpha[h].tolist(),
+                    "fwd": self._fwd[h].tolist(),
+                }
+                for h in self.homes
+            ],
+        }
+
+    def load_state(self, state: Mapping[str, object]) -> None:
+        _require_state_kind(state, "forest_engine")
+        entries = {int(ent["home"]): ent for ent in state["homes"]}
+        if tuple(sorted(entries)) != self.homes:
+            raise ValueError(
+                "forest_engine state was captured for different homes"
+            )
+        for h in self.homes:
+            ent = entries[h]
+            if _state_parent_map(ent) != self._flats[h].tree.parent_map:
+                raise ValueError(
+                    f"forest_engine state for home {h} was captured on a "
+                    "different tree"
+                )
+            self._e[h] = np.asarray(ent["demand"], dtype=np.float64)
+            self._loads[h] = np.asarray(ent["loads"], dtype=np.float64)
+            self._alpha[h] = np.asarray(ent["edge_alpha"], dtype=np.float64)
+            self._fwd[h] = np.asarray(ent["fwd"], dtype=np.float64)
+        self._round = int(state["round"])
+
+    @classmethod
+    def from_state(
+        cls, state: Mapping[str, object], *, telemetry=None
+    ) -> "ForestEngine":
+        _require_state_kind(state, "forest_engine")
+        flats = {
+            int(ent["home"]): flatten(
+                tree_from_parent_map([int(p) for p in ent["parent_map"]])
+            )
+            for ent in state["homes"]
+        }
+        demands = {int(ent["home"]): ent["demand"] for ent in state["homes"]}
+        alphas = {
+            int(ent["home"]): np.asarray(ent["edge_alpha"], dtype=np.float64)
+            for ent in state["homes"]
+        }
+        engine = cls(flats, demands, alphas, telemetry=telemetry)
+        engine.load_state(state)
+        return engine
 
 
 # ----------------------------------------------------------------------
@@ -954,6 +1130,83 @@ class AsyncEngine:
         self._activations += 1
         if self._tel.enabled:
             self._tel_activations.add(1)
+
+    # -- Steppable: step / snapshot / state / load_state -------------------
+    def step(self) -> None:
+        """One unit of work: a single RNG-drawn activation (Steppable alias)."""
+        self.activate()
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "type": "engine_snapshot",
+            "kind": "async_engine",
+            "activations": self._activations,
+            "nodes": int(self.flat.n),
+            "mass": float(self._loads.sum()),
+            "max_load": float(self._loads.max()),
+        }
+
+    def state(self) -> Dict[str, object]:
+        """Complete resumable state, including the MT19937 word state.
+
+        ``random.Random.getstate()`` is ``(version, 625 ints, gauss_next)``;
+        it is stored as a JSON list so a checkpoint restores the exact
+        activation sequence (the round-trip tests transplant it across
+        engines).
+        """
+        rng_state = self._rng.getstate()
+        return {
+            "kind": "async_engine",
+            "parent_map": [int(p) for p in self.flat.tree.parent_map],
+            "spontaneous": self._e.tolist(),
+            "loads": self._loads.tolist(),
+            "alpha_of_child": self._alpha_of_child.tolist(),
+            "max_staleness": self._staleness,
+            "history": [h.tolist() for h in self._history],
+            "fwd": self._fwd.tolist(),
+            "activations": self._activations,
+            "rng": [rng_state[0], list(rng_state[1]), rng_state[2]],
+        }
+
+    def load_state(self, state: Mapping[str, object]) -> None:
+        _require_state_kind(state, "async_engine")
+        if _state_parent_map(state) != self.flat.tree.parent_map:
+            raise ValueError(
+                "async_engine state was captured on a different tree"
+            )
+        self._e = np.asarray(state["spontaneous"], dtype=np.float64)
+        self._loads = np.asarray(state["loads"], dtype=np.float64)
+        self._alpha_of_child = np.asarray(
+            state["alpha_of_child"], dtype=np.float64
+        )
+        self._staleness = int(state["max_staleness"])
+        self._history = [np.asarray(h, dtype=np.float64) for h in state["history"]]
+        self._fwd = np.asarray(state["fwd"], dtype=np.float64)
+        self._activations = int(state["activations"])
+        version, words, gauss_next = state["rng"]
+        self._rng.setstate(
+            (int(version), tuple(int(w) for w in words), gauss_next)
+        )
+        self._served_cache = None
+
+    @classmethod
+    def from_state(
+        cls, state: Mapping[str, object], *, telemetry=None
+    ) -> "AsyncEngine":
+        _require_state_kind(state, "async_engine")
+        flat = flatten(tree_from_parent_map(list(_state_parent_map(state))))
+        alpha_of_child = np.asarray(state["alpha_of_child"], dtype=np.float64)
+        engine = cls(
+            flat,
+            state["spontaneous"],
+            state["loads"],
+            alpha_of_child[flat.edge_child],
+            random.Random(),
+            int(state["max_staleness"]),
+            telemetry=telemetry,
+        )
+        engine.load_state(state)
+        return engine
 
 
 # ----------------------------------------------------------------------

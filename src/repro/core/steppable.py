@@ -1,0 +1,73 @@
+"""The one stepping/serialization contract every plane implements.
+
+Three planes grew three ad-hoc run/snapshot/state surfaces: the rate
+kernel's engines (:class:`~repro.core.kernel.SyncEngine` and friends), the
+cluster catalog (:class:`~repro.cluster.runtime.ClusterRuntime`), and the
+batched document engine (:class:`~repro.cluster.batch.BatchEngine`).  The
+service plane (:mod:`repro.service`), the experiments runner, and the
+sharding merge-back all want to *drive* any of them without knowing which
+one they hold, so the contract is extracted here:
+
+``step()``
+    Advance the object by its natural unit of work (a synchronous round,
+    a single-node activation, a catalog tick).
+``snapshot()``
+    A cheap, JSON-ready health record of right now - either a plain
+    mapping or an object exposing ``to_record()`` (normalize with
+    :func:`snapshot_record`).  Purely observational: never mutates
+    trajectory state.
+``state()``
+    The *complete* serializable state - every array, counter, ring buffer
+    and RNG word needed to resume bit-identically - as a JSON-compatible
+    dict whose ``"kind"`` key names the implementation (the checkpoint
+    registry key, see :mod:`repro.service.checkpoint`).
+``load_state(state)``
+    Restore a previously captured ``state()`` in place.  The round-trip
+    law every implementation is property-tested against::
+
+        a.load_state(b.state())  =>  a and b produce bit-identical
+                                     trajectories from here on.
+
+Implementations additionally expose a ``from_state(state)`` classmethod
+that reconstructs the object from nothing but the dict (used when
+restoring a checkpoint into a fresh process).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Protocol, runtime_checkable
+
+__all__ = ["Steppable", "snapshot_record"]
+
+
+@runtime_checkable
+class Steppable(Protocol):
+    """Anything that can be driven, observed, and checkpointed."""
+
+    def step(self) -> None:
+        """Advance by one unit of work (round / activation / tick)."""
+
+    def snapshot(self) -> Any:
+        """A cheap JSON-ready health record (mapping or ``to_record()``-able)."""
+
+    def state(self) -> Dict[str, Any]:
+        """Complete resumable state as a JSON-compatible ``kind``-tagged dict."""
+
+    def load_state(self, state: Mapping[str, Any]) -> None:
+        """Restore a :meth:`state` capture in place (bit-identical resume)."""
+
+
+def snapshot_record(target: Any) -> Dict[str, Any]:
+    """Normalize any Steppable's :meth:`~Steppable.snapshot` to a dict.
+
+    :class:`~repro.cluster.runtime.ClusterRuntime` returns a
+    :class:`~repro.cluster.metrics.ClusterSnapshot` (which serializes via
+    ``to_record()``); the kernel engines return plain dicts.  Sinks and
+    the service plane stream through this helper so both shapes land as
+    the same ndjson records.
+    """
+    snap = target.snapshot()
+    to_record = getattr(snap, "to_record", None)
+    if to_record is not None:
+        return to_record()
+    return dict(snap)

@@ -35,7 +35,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .kernel import SyncEngine, edge_alphas, flatten
+from .kernel import EngineConfig, SyncEngine, edge_alphas, flatten
 from .load import LoadAssignment
 from .tree import RoutingTree
 from .webfold import webfold
@@ -155,8 +155,10 @@ class WebWaveSimulator:
             self._base.spontaneous,
             self._base.served,
             self._config.edge_alphas(tree),
-            gossip_delay=self._config.gossip_delay,
-            quantum=self._config.quantum,
+            config=EngineConfig(
+                gossip_delay=self._config.gossip_delay,
+                quantum=self._config.quantum,
+            ),
         )
 
     # ------------------------------------------------------------------

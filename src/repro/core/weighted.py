@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .kernel import SyncEngine, edge_alphas, flatten
+from .kernel import EngineConfig, SyncEngine, edge_alphas, flatten
 from .load import LoadAssignment
 from .tree import RoutingTree
 
@@ -242,7 +242,7 @@ class WeightedWebWaveSimulator:
             self._base.spontaneous,
             self._base.served,
             edge_alphas(flat, alpha, safe=False),
-            capacities=self._caps,
+            config=EngineConfig(capacities=tuple(self._caps)),
         )
 
     @property

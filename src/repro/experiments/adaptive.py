@@ -38,9 +38,11 @@ import numpy as np
 
 from ..analysis.tables import format_table
 from ..obs import timed
+from ..cluster.config import ClusterConfig
 from ..cluster.runtime import ClusterRuntime
 from ..cluster.scenarios import population_workload, workload_rate_matrix
 from ..core.kernel import (
+    EngineConfig,
     SyncEngine,
     degree_edge_alphas,
     flatten,
@@ -232,7 +234,7 @@ def run_rate_adaptive(
         sparse_seconds = sparse_t.seconds
         rounds = sparse.round
 
-        dense = SyncEngine(flat, rates, rates, alphas, adaptive=False)
+        dense = SyncEngine(flat, rates, rates, alphas, config=EngineConfig(adaptive=False))
         with timed() as dense_t:
             for _ in range(rounds):
                 dense.step()
@@ -317,7 +319,7 @@ def run_cluster_steady_state(
     home = tree.root
 
     runtime = ClusterRuntime({home: tree})
-    dense_runtime = ClusterRuntime({home: tree}, adaptive=False)
+    dense_runtime = ClusterRuntime({home: tree}, config=ClusterConfig(adaptive=False))
     for rt in (runtime, dense_runtime):
         rt.publish_many(
             [(doc_id, home, matrix[i]) for i, doc_id in enumerate(doc_ids)]

@@ -31,9 +31,10 @@ import numpy as np
 
 from ..analysis.tables import format_table
 from ..obs import timed
+from ..cluster.config import ClusterConfig
 from ..cluster.runtime import ClusterRuntime
 from ..cluster.scenarios import population_workload, workload_rate_matrix
-from ..core.kernel import SyncEngine, degree_edge_alphas, flatten
+from ..core.kernel import EngineConfig, SyncEngine, degree_edge_alphas, flatten
 from ..core.tree import kary_tree
 
 __all__ = [
@@ -149,7 +150,7 @@ def run_cluster_scalability(
         # adaptive=False on both sides: this row tracks the dense batched
         # plane against the dense per-document loop (PR 2's comparison);
         # the adaptive freeze/frontier win is recorded in BENCH_adaptive.
-        runtime = ClusterRuntime({home: tree}, adaptive=False)
+        runtime = ClusterRuntime({home: tree}, config=ClusterConfig(adaptive=False))
         _publish_all(runtime, doc_ids, matrix, home)
         active = 0
         for group in runtime._groups.values():
@@ -164,7 +165,7 @@ def run_cluster_scalability(
 
         # --- sequential: one SyncEngine per document -------------------
         engines = [
-            SyncEngine(flat, matrix[d], matrix[d], alphas, adaptive=False)
+            SyncEngine(flat, matrix[d], matrix[d], alphas, config=EngineConfig(adaptive=False))
             for d in range(documents)
         ]
         for engine in engines:
@@ -176,10 +177,10 @@ def run_cluster_scalability(
         seq_tick_s = seq_t.per(sequential_ticks)
 
         # --- parity: fresh runs, compare dense trajectories ------------
-        runtime = ClusterRuntime({home: tree}, adaptive=False)
+        runtime = ClusterRuntime({home: tree}, config=ClusterConfig(adaptive=False))
         _publish_all(runtime, doc_ids, matrix, home)
         engines = [
-            SyncEngine(flat, matrix[d], matrix[d], alphas, adaptive=False)
+            SyncEngine(flat, matrix[d], matrix[d], alphas, config=EngineConfig(adaptive=False))
             for d in range(documents)
         ]
         for _ in range(parity_ticks):

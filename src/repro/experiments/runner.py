@@ -3,6 +3,15 @@
 ``webwave-experiments list`` shows every experiment; ``webwave-experiments
 run <id> [...]`` executes them and prints the paper-style report.  Each
 experiment id matches the per-experiment index in DESIGN.md.
+
+``serve`` starts the resident service plane (a live
+:class:`~repro.cluster.runtime.ClusterRuntime` behind an ndjson command
+loop on stdio or a unix socket); ``ctl`` sends one command to a running
+``serve --socket`` daemon.  See :mod:`repro.service`.
+
+Misuse of any subcommand (missing arguments, unknown ids, bad specs)
+prints the problem plus the experiment registry to stderr and exits 2 —
+one shared path, so every front door fails the same way.
 """
 
 from __future__ import annotations
@@ -95,6 +104,35 @@ def registry_listing() -> str:
     )
 
 
+def _usage_error(message: str) -> int:
+    """The one misuse path every subcommand shares: message + registry, exit 2."""
+    print(
+        f"{message}\nregistered experiments:\n" + registry_listing(),
+        file=sys.stderr,
+    )
+    return 2
+
+
+def _parse_tree_spec(spec: str):
+    """``kary:K,H`` / ``chain:N`` / ``star:N`` -> a RoutingTree (or raise)."""
+    from ..core.tree import chain_tree, kary_tree, star_tree
+
+    shape, _, params = spec.partition(":")
+    try:
+        if shape == "kary":
+            k, h = (int(p) for p in params.split(","))
+            return kary_tree(k, h)
+        if shape == "chain":
+            return chain_tree(int(params))
+        if shape == "star":
+            return star_tree(int(params))
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"bad tree spec {spec!r}: {exc}") from None
+    raise ValueError(
+        f"bad tree spec {spec!r}: expected kary:K,H, chain:N, or star:N"
+    )
+
+
 def main(argv: List[str] | None = None) -> int:
     """CLI entry point (installed as ``webwave-experiments``)."""
     parser = argparse.ArgumentParser(
@@ -115,6 +153,40 @@ def main(argv: List[str] | None = None) -> int:
         "obs-report", help="render a dashboard from a telemetry ndjson file"
     )
     report_parser.add_argument("path", nargs="?", help="ndjson file to render")
+    serve_parser = sub.add_parser(
+        "serve", help="run a resident cluster runtime behind a command loop"
+    )
+    serve_parser.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="serve on this unix socket (default: ndjson over stdin/stdout)",
+    )
+    serve_parser.add_argument(
+        "--tree", metavar="SPEC", default="kary:2,3",
+        help="topology: kary:K,H, chain:N, or star:N (default kary:2,3)",
+    )
+    serve_parser.add_argument(
+        "--alpha", type=float, default=None,
+        help="fixed diffusion parameter (default: degree-derived)",
+    )
+    serve_parser.add_argument(
+        "--restore", metavar="CKPT", default=None,
+        help="resume from this checkpoint instead of starting empty",
+    )
+    serve_parser.add_argument(
+        "--export", metavar="PATH", default=None,
+        help="stream snapshot records to this ndjson file",
+    )
+    serve_parser.add_argument(
+        "--export-every", type=int, default=1, metavar="N",
+        help="ticks between streamed snapshots (default 1)",
+    )
+    ctl_parser = sub.add_parser(
+        "ctl", help="send one JSON command to a running serve --socket daemon"
+    )
+    ctl_parser.add_argument("--socket", metavar="PATH", default=None)
+    ctl_parser.add_argument(
+        "command_json", nargs="?", help='e.g. \'{"op": "tick", "count": 5}\''
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -125,21 +197,20 @@ def main(argv: List[str] | None = None) -> int:
         from ..obs import report as obs_report
 
         if not args.path:
-            print(
+            return _usage_error(
                 "obs-report needs the ndjson path a previous "
-                "`run --telemetry PATH` wrote; registered experiments:\n"
-                + registry_listing(),
-                file=sys.stderr,
+                "`run --telemetry PATH` wrote"
             )
-            return 2
         return obs_report.main([args.path])
 
+    if args.command == "serve":
+        return _serve(args)
+
+    if args.command == "ctl":
+        return _ctl(args)
+
     if not args.ids:
-        print(
-            "no experiment id given; registered experiments:\n" + registry_listing(),
-            file=sys.stderr,
-        )
-        return 2
+        return _usage_error("no experiment id given")
 
     telemetry = None
     sink = None
@@ -149,12 +220,9 @@ def main(argv: List[str] | None = None) -> int:
         try:
             sink = NdjsonSink(args.telemetry)
         except OSError as exc:
-            print(
-                f"cannot open telemetry sink {args.telemetry!r}: {exc}\n"
-                "registered experiments:\n" + registry_listing(),
-                file=sys.stderr,
+            return _usage_error(
+                f"cannot open telemetry sink {args.telemetry!r}: {exc}"
             )
-            return 2
         telemetry = Telemetry(sink)
 
     ids = sorted(EXPERIMENTS) if args.ids == ["all"] else args.ids
@@ -162,12 +230,7 @@ def main(argv: List[str] | None = None) -> int:
     try:
         for exp_id in ids:
             if exp_id not in EXPERIMENTS:
-                print(
-                    f"unknown experiment {exp_id!r}; registered experiments:\n"
-                    + registry_listing(),
-                    file=sys.stderr,
-                )
-                status = 2
+                status = _usage_error(f"unknown experiment {exp_id!r}")
                 continue
             result = _run_with_telemetry(exp_id, telemetry)
             print(f"\n=== {exp_id}: {EXPERIMENTS[exp_id][0]} ===\n")
@@ -178,6 +241,83 @@ def main(argv: List[str] | None = None) -> int:
             telemetry.close()
             print(f"telemetry written to {args.telemetry}", file=sys.stderr)
     return status
+
+
+def _serve(args) -> int:
+    """``serve``: a resident ClusterRuntime behind stdio or a unix socket."""
+    from ..cluster.config import ClusterConfig
+    from ..cluster.runtime import ClusterRuntime
+    from ..core.tree import tree_from_edges
+    from ..obs.sink import NdjsonSink
+    from ..service import Service, restore_checkpoint, serve_loop, serve_socket
+
+    if args.export_every < 1:
+        return _usage_error(f"--export-every must be >= 1, got {args.export_every}")
+
+    if args.restore is not None:
+        try:
+            runtime = restore_checkpoint(args.restore)
+        except ValueError as exc:
+            return _usage_error(f"cannot restore {args.restore!r}: {exc}")
+    else:
+        try:
+            base = _parse_tree_spec(args.tree)
+        except ValueError as exc:
+            return _usage_error(str(exc))
+        edges = [
+            (node, parent)
+            for node, parent in enumerate(base.parent_map)
+            if node != parent
+        ]
+
+        def tree_source(home: int):
+            return tree_from_edges(base.n, edges, root=home)
+
+        runtime = ClusterRuntime(
+            tree_source, config=ClusterConfig(alpha=args.alpha, track_tlb=True)
+        )
+
+    sink = None
+    if args.export is not None:
+        try:
+            sink = NdjsonSink(args.export)
+        except OSError as exc:
+            return _usage_error(f"cannot open export sink {args.export!r}: {exc}")
+    service = Service(runtime, sink=sink, export_every=args.export_every)
+    try:
+        if args.socket is not None:
+            serve_socket(service, args.socket)
+        else:
+            serve_loop(service, sys.stdin, sys.stdout)
+    finally:
+        if sink is not None:
+            sink.close()
+    return 0
+
+
+def _ctl(args) -> int:
+    """``ctl``: one command to a ``serve --socket`` daemon, reply on stdout."""
+    import json
+
+    from ..service import send_command
+
+    if not args.socket:
+        return _usage_error("ctl needs --socket PATH (the daemon's unix socket)")
+    if not args.command_json:
+        return _usage_error('ctl needs a JSON command, e.g. \'{"op": "ping"}\'')
+    try:
+        command = json.loads(args.command_json)
+    except json.JSONDecodeError as exc:
+        return _usage_error(f"ctl command is not valid JSON: {exc}")
+    if not isinstance(command, dict):
+        return _usage_error("ctl command must be a JSON object with an 'op' key")
+    try:
+        response = send_command(args.socket, command)
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot reach daemon at {args.socket!r}: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(response, separators=(",", ":")))
+    return 0 if response.get("ok") else 1
 
 
 def _run_with_telemetry(exp_id: str, telemetry) -> object:

@@ -31,6 +31,7 @@ from ..analysis.metrics import ProtocolSummary, summarize_scenario
 from ..analysis.tables import format_table
 from ..obs import timed
 from ..core.kernel import (
+    EngineConfig,
     SyncEngine,
     degree_edge_alphas,
     edge_alpha_map,
@@ -230,7 +231,7 @@ def run_rate_scalability(
         # adaptive=False: this row tracks the *dense* kernel's trajectory
         # (the adaptive active-set story has its own experiment and
         # BENCH_adaptive.json record).
-        engine = SyncEngine(flat, rates, rates, alphas, adaptive=False)
+        engine = SyncEngine(flat, rates, rates, alphas, config=EngineConfig(adaptive=False))
         with timed() as kernel_t:
             for _ in range(timed_rounds):
                 engine.step()
@@ -246,7 +247,7 @@ def run_rate_scalability(
         target = np.asarray(
             webfold(tree, rates).assignment.served, dtype=np.float64
         )
-        engine = SyncEngine(flat, rates, rates, alphas, adaptive=False)
+        engine = SyncEngine(flat, rates, rates, alphas, config=EngineConfig(adaptive=False))
         threshold = engine.distance_to(target) * reduction
         with timed() as conv_t:
             converged = engine.distance_to(target) <= threshold

@@ -19,7 +19,7 @@ catalog, packet protocol), with a zero-overhead null default:
   arithmetic.
 """
 
-from .sink import MemorySink, NdjsonSink, read_ndjson
+from .sink import MemorySink, NdjsonSink, read_ndjson, scan_ndjson
 from .telemetry import (
     NULL,
     Counter,
@@ -50,6 +50,7 @@ __all__ = [
     "current",
     "log_bucket_edges",
     "read_ndjson",
+    "scan_ndjson",
     "resolve",
     "timed",
     "use",

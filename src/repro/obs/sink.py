@@ -14,11 +14,11 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["NdjsonSink", "MemorySink", "read_ndjson"]
+__all__ = ["NdjsonSink", "MemorySink", "read_ndjson", "scan_ndjson"]
 
 
 def _jsonable(value: Any) -> Any:
@@ -136,12 +136,17 @@ class NdjsonSink:
         self.close()
 
 
-def read_ndjson(path: str, *, include_rotated: bool = True) -> List[Dict[str, Any]]:
-    """Read an ndjson stream back, oldest record first.
+def scan_ndjson(
+    path: str, *, include_rotated: bool = True
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Read an ndjson stream back: ``(records, skipped)``, oldest first.
 
     With ``include_rotated`` the rotated parts (``path.N`` … ``path.1``)
-    are read before the live file.  A trailing partial line (a run killed
-    mid-write) is skipped rather than raising.
+    are read before the live file.  Corrupt lines (a run killed mid-write
+    leaves a partial tail; a truncated checkpoint leaves worse) are
+    skipped, and ``skipped`` counts them so callers can warn or refuse -
+    the service plane treats ``skipped > 0`` on a checkpoint as
+    truncation (see :mod:`repro.service.checkpoint`).
     """
     paths: List[str] = []
     if include_rotated:
@@ -152,6 +157,7 @@ def read_ndjson(path: str, *, include_rotated: bool = True) -> List[Dict[str, An
     paths.append(path)
 
     records: List[Dict[str, Any]] = []
+    skipped = 0
     for part in paths:
         with open(part, "r", encoding="utf-8") as fh:
             for line in fh:
@@ -161,5 +167,15 @@ def read_ndjson(path: str, *, include_rotated: bool = True) -> List[Dict[str, An
                 try:
                     records.append(json.loads(line))
                 except json.JSONDecodeError:
-                    continue
-    return records
+                    skipped += 1
+    return records, skipped
+
+
+def read_ndjson(path: str, *, include_rotated: bool = True) -> List[Dict[str, Any]]:
+    """Read an ndjson stream back, oldest record first.
+
+    The lenient facade over :func:`scan_ndjson`: corrupt lines are
+    dropped silently.  Use :func:`scan_ndjson` when the caller needs to
+    know how many lines were lost.
+    """
+    return scan_ndjson(path, include_rotated=include_rotated)[0]

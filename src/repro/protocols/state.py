@@ -129,6 +129,43 @@ class MeterBank:
         self.roll_range(now, 0, self.size)
         return self.est.copy()
 
+    # -- serialization (service-plane checkpoints) -----------------------
+    def state(self) -> Dict[str, object]:
+        """Every meter's exact bookkeeping (counts, anchors, estimates)."""
+        return {
+            "kind": "meter_bank",
+            "size": self.size,
+            "window": self.window,
+            "alpha": self.alpha,
+            "counts": list(self.counts),
+            "wstart": list(self.wstart),
+            "est": self.est.tolist(),
+            "seeded": list(self.seeded),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state` capture in place (bit-identical rates)."""
+        if state.get("kind") != "meter_bank":
+            raise ValueError(
+                f"cannot load state of kind {state.get('kind')!r} into a meter bank"
+            )
+        if int(state["size"]) != self.size:
+            raise ValueError(
+                f"meter bank state has {state['size']} meters, bank has {self.size}"
+            )
+        self.window = float(state["window"])
+        self.alpha = float(state["alpha"])
+        self.counts = [float(c) for c in state["counts"]]
+        self.wstart = [float(w) for w in state["wstart"]]
+        self.est = np.asarray(state["est"], dtype=np.float64)
+        self.seeded = [bool(s) for s in state["seeded"]]
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "MeterBank":
+        bank = cls(int(state["size"]), float(state["window"]), float(state["alpha"]))
+        bank.load_state(state)
+        return bank
+
 
 class TargetsView:
     """One node's serve targets as a mapping over the shared matrix.
@@ -333,6 +370,89 @@ class PacketState:
         self.busy_until[node] = completion
         self.busy_time[node] += service_time
         return completion
+
+    # ------------------------------------------------------------------
+    # Serialization (service-plane checkpoints)
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, object]:
+        """Complete per-server protocol state as a JSON-compatible dict.
+
+        Covers the targets matrix, all three EWMA meter banks *as
+        maintained* (counts, window anchors, estimates), queue/busy
+        bookkeeping, failure flags, and every cache store with its
+        recency order and pin set - everything needed to resume the
+        protocol datapath bit-identically.
+        """
+        return {
+            "kind": "packet_state",
+            "n": self.n,
+            "doc_ids": list(self.doc_ids),
+            "home": self.home,
+            "capacities": self.capacity.tolist(),
+            "meter_window": self.meter_window,
+            "targets": self.targets.tolist(),
+            "has_target": self.has_target.tolist(),
+            "served_total": self.served_total.state(),
+            "served_doc": self.served_doc.state(),
+            "fwd_doc": self.fwd_doc.state(),
+            "busy_until": self.busy_until.tolist(),
+            "busy_time": self.busy_time.tolist(),
+            "requests_served": list(self.requests_served),
+            "requests_forwarded": list(self.requests_forwarded),
+            "failed": self.failed.tolist(),
+            "stores": [store.state() for store in self.stores],
+            "fwd_row_stamp": list(self._fwd_row_stamp),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state` capture in place (bit-identical resume)."""
+        if state.get("kind") != "packet_state":
+            raise ValueError(
+                f"cannot load state of kind {state.get('kind')!r} into a "
+                "packet_state"
+            )
+        if int(state["n"]) != self.n or tuple(state["doc_ids"]) != self.doc_ids:
+            raise ValueError(
+                "packet_state capture has a different node/document universe"
+            )
+        n, d = self.n, self.docs
+        self.home = int(state["home"])
+        self.capacity = np.asarray(state["capacities"], dtype=np.float64)
+        self.meter_window = float(state["meter_window"])
+        self.targets = np.asarray(state["targets"], dtype=np.float64).reshape(n, d)
+        self.has_target = np.asarray(state["has_target"], dtype=bool).reshape(n, d)
+        self.served_total.load_state(state["served_total"])
+        self.served_doc.load_state(state["served_doc"])
+        self.fwd_doc.load_state(state["fwd_doc"])
+        self.busy_until = np.asarray(state["busy_until"], dtype=np.float64)
+        self.busy_time = np.asarray(state["busy_time"], dtype=np.float64)
+        self.requests_served = [int(x) for x in state["requests_served"]]
+        self.requests_forwarded = [int(x) for x in state["requests_forwarded"]]
+        self.failed = np.asarray(state["failed"], dtype=bool)
+        self.stores = [CacheStore.from_state(s) for s in state["stores"]]
+        self.cached = [
+            {self.doc_index[doc_id] for doc_id, _ in s["entries"]}
+            for s in state["stores"]
+        ]
+        self._fwd_row_stamp = [float(x) for x in state["fwd_row_stamp"]]
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "PacketState":
+        """Rebuild the protocol state from nothing but a :meth:`state` dict."""
+        if state.get("kind") != "packet_state":
+            raise ValueError(
+                f"cannot load state of kind {state.get('kind')!r} into a "
+                "packet_state"
+            )
+        fresh = cls(
+            int(state["n"]),
+            state["doc_ids"],
+            state["capacities"],
+            int(state["home"]),
+            meter_window=float(state["meter_window"]),
+        )
+        fresh.load_state(state)
+        return fresh
 
 
 class CacheServerView:

@@ -1,0 +1,220 @@
+"""Versioned on-disk checkpoints for every Steppable plane.
+
+A checkpoint is a two-line ndjson file::
+
+    {"schema": "webwave-checkpoint/v1", "kind": "cluster_runtime"}
+    {"section": "state", "state": {...}}
+
+Line one is the header: the schema tag carries the format version, the
+``kind`` names which :meth:`~repro.core.steppable.Steppable.state`
+implementation produced the payload (and therefore which ``from_state``
+rebuilds it).  Line two is the complete state dict, exactly as
+``state()`` returned it.
+
+Why this shape survives:
+
+* **Bit-identical resume.**  State dicts serialize float64 arrays via
+  ``tolist()``; Python's shortest-repr float round-trips every float64
+  exactly, so ``restore(checkpoint(x))`` resumes on the same bits — the
+  round-trip law is property-tested per plane in ``tests/service/``.
+* **Atomic writes.**  The file is written to ``path.tmp`` and
+  ``os.replace``-d into place, so a crash mid-write leaves either the
+  old checkpoint or none — never a half-written one.
+* **Truncation is loud.**  Reads go through
+  :func:`repro.obs.sink.scan_ndjson`; any corrupt line (a kill mid-write
+  on a non-atomic filesystem, a copy cut short) surfaces as a skipped
+  count and the restore refuses with :class:`CheckpointError` instead of
+  silently resuming from garbage.
+* **Forward-version refusal.**  A checkpoint written by a newer schema
+  (``.../v2`` read by a v1 build) fails with a clear error naming both
+  versions, rather than misinterpreting fields.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from ..obs.sink import scan_ndjson
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "checkpoint_kind",
+    "read_checkpoint",
+    "restore_checkpoint",
+    "write_checkpoint",
+]
+
+CHECKPOINT_SCHEMA = "webwave-checkpoint"
+CHECKPOINT_VERSION = 1
+
+_SCHEMA_RE = re.compile(r"^(?P<name>[a-z-]+)/v(?P<version>\d+)$")
+
+
+class CheckpointError(ValueError):
+    """Raised for unreadable, truncated, or unsupported checkpoints."""
+
+
+# ----------------------------------------------------------------------
+# Registry: state "kind" -> reconstructor.  Imports are lazy so the
+# service plane stays importable without pulling every plane at once.
+# ----------------------------------------------------------------------
+def _load_sync(state: Mapping[str, Any], telemetry: Any) -> Any:
+    from ..core.kernel import SyncEngine
+
+    return SyncEngine.from_state(state, telemetry=telemetry)
+
+
+def _load_async(state: Mapping[str, Any], telemetry: Any) -> Any:
+    from ..core.kernel import AsyncEngine
+
+    return AsyncEngine.from_state(state, telemetry=telemetry)
+
+
+def _load_forest(state: Mapping[str, Any], telemetry: Any) -> Any:
+    from ..core.kernel import ForestEngine
+
+    return ForestEngine.from_state(state, telemetry=telemetry)
+
+
+def _load_batch(state: Mapping[str, Any], telemetry: Any) -> Any:
+    from ..cluster.batch import BatchEngine
+
+    return BatchEngine.from_state(state, telemetry=telemetry)
+
+
+def _load_cluster(state: Mapping[str, Any], telemetry: Any) -> Any:
+    from ..cluster.runtime import ClusterRuntime
+
+    return ClusterRuntime.from_state(state, telemetry=telemetry)
+
+
+def _load_meter_bank(state: Mapping[str, Any], telemetry: Any) -> Any:
+    from ..protocols.state import MeterBank
+
+    return MeterBank.from_state(state)
+
+
+def _load_packet_state(state: Mapping[str, Any], telemetry: Any) -> Any:
+    from ..protocols.state import PacketState
+
+    return PacketState.from_state(state)
+
+
+def _load_rng_streams(state: Mapping[str, Any], telemetry: Any) -> Any:
+    from ..sim.rng import RngStreams
+
+    return RngStreams.from_state(state)
+
+
+_LOADERS: Dict[str, Callable[[Mapping[str, Any], Any], Any]] = {
+    "sync_engine": _load_sync,
+    "async_engine": _load_async,
+    "forest_engine": _load_forest,
+    "batch_engine": _load_batch,
+    "cluster_runtime": _load_cluster,
+    "meter_bank": _load_meter_bank,
+    "packet_state": _load_packet_state,
+    "rng_streams": _load_rng_streams,
+}
+
+
+def checkpoint_kind(target: Any) -> str:
+    """The registry kind a target's :meth:`state` tags itself with."""
+    state = target if isinstance(target, Mapping) else target.state()
+    kind = state.get("kind")
+    if not isinstance(kind, str):
+        raise CheckpointError(f"state dict has no 'kind' tag: {kind!r}")
+    return kind
+
+
+def write_checkpoint(target: Any, path: str) -> str:
+    """Checkpoint ``target`` (a Steppable or a state dict) to ``path``.
+
+    Returns the ``kind`` written.  The write is atomic: the new file is
+    staged at ``path.tmp`` and renamed into place.
+    """
+    state = target if isinstance(target, Mapping) else target.state()
+    kind = checkpoint_kind(state)
+    header = {"schema": f"{CHECKPOINT_SCHEMA}/v{CHECKPOINT_VERSION}", "kind": kind}
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(header, separators=(",", ":")))
+        fh.write("\n")
+        fh.write(
+            json.dumps({"section": "state", "state": state}, separators=(",", ":"))
+        )
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return kind
+
+
+def read_checkpoint(path: str) -> Dict[str, Any]:
+    """Read and validate a checkpoint; returns the raw state dict.
+
+    Raises :class:`CheckpointError` on truncation (corrupt lines), an
+    unrecognized schema, a version newer than this build supports, or a
+    header/state kind mismatch.
+    """
+    if not os.path.exists(path):
+        raise CheckpointError(f"no checkpoint at {path!r}")
+    records, skipped = scan_ndjson(path, include_rotated=False)
+    if skipped:
+        raise CheckpointError(
+            f"truncated checkpoint {path!r}: {skipped} corrupt line(s); "
+            "refusing to restore partial state"
+        )
+    if len(records) < 2:
+        raise CheckpointError(
+            f"truncated checkpoint {path!r}: expected header + state, "
+            f"got {len(records)} record(s)"
+        )
+    header = records[0]
+    match = _SCHEMA_RE.match(str(header.get("schema", "")))
+    if match is None or match.group("name") != CHECKPOINT_SCHEMA:
+        raise CheckpointError(
+            f"{path!r} is not a webwave checkpoint "
+            f"(schema {header.get('schema')!r})"
+        )
+    version = int(match.group("version"))
+    if version > CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} was written by a newer schema "
+            f"(v{version}); this build supports up to v{CHECKPOINT_VERSION}"
+        )
+    body = records[1]
+    if body.get("section") != "state" or "state" not in body:
+        raise CheckpointError(f"checkpoint {path!r} is missing its state section")
+    state = body["state"]
+    kind = state.get("kind")
+    if kind != header.get("kind"):
+        raise CheckpointError(
+            f"checkpoint {path!r} header says kind {header.get('kind')!r} "
+            f"but the state is tagged {kind!r}"
+        )
+    return state
+
+
+def restore_checkpoint(path: str, *, telemetry: Optional[Any] = None) -> Any:
+    """Rebuild the checkpointed object from ``path``.
+
+    The header's ``kind`` selects the reconstructor; an unknown kind
+    (e.g. a checkpoint from a build with extra planes) fails with the
+    registry's known kinds listed.
+    """
+    state = read_checkpoint(path)
+    kind = state["kind"]
+    loader = _LOADERS.get(kind)
+    if loader is None:
+        known = ", ".join(sorted(_LOADERS))
+        raise CheckpointError(
+            f"no reconstructor registered for checkpoint kind {kind!r}; "
+            f"known kinds: {known}"
+        )
+    return loader(state, telemetry)

@@ -1,0 +1,196 @@
+"""The resident service: live commands against a running Steppable.
+
+:class:`Service` holds one :class:`~repro.core.steppable.Steppable`
+(usually a :class:`~repro.cluster.runtime.ClusterRuntime`) and executes
+dict-shaped commands against it — the same commands whether they arrive
+over stdin, a unix socket (:mod:`repro.service.control`), or in-process
+from a test.  Every command returns a dict with ``"ok"``; failures carry
+``"error"`` instead of raising, so one bad command never kills the loop.
+
+Commands
+--------
+``ping``
+    Liveness; echoes ``{"ok": true, "pong": true}``.
+``info``
+    The runtime's kind, tick/round count, and whether it supports the
+    catalog lifecycle ops.
+``tick {"count": N}``
+    Advance N units of work (default 1), streaming a snapshot record to
+    the sink every ``export_every`` ticks.
+``publish / retire / set_rates / scale``
+    Catalog lifecycle (cluster runtimes only; others get a clear error).
+``snapshot``
+    The current snapshot record (also streamed to the sink).
+``checkpoint {"path": P}`` / ``restore {"path": P}``
+    Pin the full state to disk / swap in the state pinned at ``P``.
+``shutdown``
+    Mark the service closed; serving loops exit after replying.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from ..core.steppable import snapshot_record
+from .checkpoint import (
+    CheckpointError,
+    read_checkpoint,
+    restore_checkpoint,
+    write_checkpoint,
+)
+
+__all__ = ["Service", "ServiceError"]
+
+
+class ServiceError(ValueError):
+    """Raised for malformed or unsupported service commands."""
+
+
+class Service:
+    """Execute live control commands against a resident Steppable.
+
+    Parameters
+    ----------
+    runtime:
+        Any Steppable (kernel engine, BatchEngine, ClusterRuntime).
+    sink:
+        Optional record sink (:class:`~repro.obs.sink.NdjsonSink` or
+        :class:`~repro.obs.sink.MemorySink`); snapshot records stream
+        here during ``tick`` commands.
+    export_every:
+        Ticks between streamed snapshots (1 = every tick).
+    """
+
+    def __init__(
+        self,
+        runtime: Any,
+        *,
+        sink: Optional[Any] = None,
+        export_every: int = 1,
+    ) -> None:
+        if export_every < 1:
+            raise ValueError(f"export_every must be >= 1, got {export_every}")
+        self.runtime = runtime
+        self.sink = sink
+        self.export_every = int(export_every)
+        self.closed = False
+        self._ticks = 0
+
+    # ------------------------------------------------------------------
+    def execute(self, command: Mapping[str, Any]) -> Dict[str, Any]:
+        """Run one command; always returns a response dict, never raises."""
+        if not isinstance(command, Mapping):
+            return {"ok": False, "error": f"command must be an object, got {type(command).__name__}"}
+        op = command.get("op")
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+        if handler is None:
+            known = ", ".join(sorted(
+                name[4:] for name in dir(self) if name.startswith("_op_")
+            ))
+            return {"ok": False, "error": f"unknown op {op!r}; known ops: {known}"}
+        try:
+            return handler(command)
+        except (ServiceError, CheckpointError, ValueError, KeyError, TypeError, OSError) as exc:
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    # -- basics --------------------------------------------------------
+    def _op_ping(self, command: Mapping[str, Any]) -> Dict[str, Any]:
+        return {"ok": True, "pong": True}
+
+    def _op_info(self, command: Mapping[str, Any]) -> Dict[str, Any]:
+        state_kind = None
+        if hasattr(self.runtime, "state"):
+            state_kind = self.runtime.state().get("kind")
+        return {
+            "ok": True,
+            "kind": state_kind,
+            "ticks": self._ticks,
+            "catalog": self._is_catalog(),
+        }
+
+    def _op_shutdown(self, command: Mapping[str, Any]) -> Dict[str, Any]:
+        self.closed = True
+        return {"ok": True, "closing": True}
+
+    # -- driving -------------------------------------------------------
+    def _op_tick(self, command: Mapping[str, Any]) -> Dict[str, Any]:
+        count = int(command.get("count", 1))
+        if count < 1:
+            raise ServiceError(f"tick count must be >= 1, got {count}")
+        for _ in range(count):
+            self.runtime.step()
+            self._ticks += 1
+            if self.sink is not None and self._ticks % self.export_every == 0:
+                self.sink.write(snapshot_record(self.runtime))
+        return {"ok": True, "ticks": self._ticks}
+
+    def _op_snapshot(self, command: Mapping[str, Any]) -> Dict[str, Any]:
+        record = snapshot_record(self.runtime)
+        if self.sink is not None:
+            self.sink.write(record)
+        return {"ok": True, "snapshot": record}
+
+    # -- catalog lifecycle ---------------------------------------------
+    def _is_catalog(self) -> bool:
+        return all(
+            hasattr(self.runtime, attr)
+            for attr in ("publish", "retire", "set_rates", "scale_rates")
+        )
+
+    def _require_catalog(self, op: str) -> None:
+        if not self._is_catalog():
+            raise ServiceError(
+                f"{op} needs a catalog runtime (ClusterRuntime); "
+                f"this service holds {type(self.runtime).__name__}"
+            )
+
+    def _op_publish(self, command: Mapping[str, Any]) -> Dict[str, Any]:
+        self._require_catalog("publish")
+        self.runtime.publish(
+            str(command["doc_id"]),
+            int(command["home"]),
+            [float(r) for r in command["rates"]],
+        )
+        return {"ok": True, "doc_id": command["doc_id"]}
+
+    def _op_retire(self, command: Mapping[str, Any]) -> Dict[str, Any]:
+        self._require_catalog("retire")
+        removed = self.runtime.retire(str(command["doc_id"]))
+        return {"ok": True, "doc_id": command["doc_id"], "removed_mass": removed}
+
+    def _op_set_rates(self, command: Mapping[str, Any]) -> Dict[str, Any]:
+        self._require_catalog("set_rates")
+        self.runtime.set_rates(
+            str(command["doc_id"]), [float(r) for r in command["rates"]]
+        )
+        return {"ok": True, "doc_id": command["doc_id"]}
+
+    def _op_scale(self, command: Mapping[str, Any]) -> Dict[str, Any]:
+        self._require_catalog("scale")
+        doc_ids = command.get("doc_ids")
+        self.runtime.scale_rates(
+            float(command["factor"]),
+            None if doc_ids is None else [str(d) for d in doc_ids],
+        )
+        return {"ok": True, "factor": float(command["factor"])}
+
+    # -- persistence ---------------------------------------------------
+    def _op_checkpoint(self, command: Mapping[str, Any]) -> Dict[str, Any]:
+        path = str(command["path"])
+        kind = write_checkpoint(self.runtime, path)
+        return {"ok": True, "path": path, "kind": kind}
+
+    def _op_restore(self, command: Mapping[str, Any]) -> Dict[str, Any]:
+        path = str(command["path"])
+        state = read_checkpoint(path)
+        kind = state.get("kind")
+        if hasattr(self.runtime, "load_state"):
+            try:
+                # Loading in place keeps the live runtime's tree source;
+                # a fresh from_state only knows the checkpointed homes.
+                self.runtime.load_state(state)
+                return {"ok": True, "path": path, "kind": kind}
+            except ValueError:
+                pass  # kind mismatch against the resident runtime: rebuild
+        self.runtime = restore_checkpoint(path)
+        return {"ok": True, "path": path, "kind": kind}

@@ -76,3 +76,54 @@ class RngStreams:
     def spawn(self, name: str) -> "RngStreams":
         """A child family whose master seed derives from this one."""
         return RngStreams(derive_seed(self._seed, "spawn", name))
+
+    # ------------------------------------------------------------------
+    # Serialization (service-plane checkpoints)
+    # ------------------------------------------------------------------
+    def state(self) -> Dict:
+        """Every materialized stream's exact MT19937 word state.
+
+        Streams not yet requested need no entry: they are derived
+        deterministically from the master seed on first :meth:`get`, so a
+        restored family continues identically either way.
+        """
+        streams = []
+        for key, rng in self._streams.items():
+            version, words, gauss_next = rng.getstate()
+            streams.append(
+                {
+                    "key": [
+                        list(part) if isinstance(part, tuple) else part
+                        for part in key
+                    ],
+                    "rng": [version, list(words), gauss_next],
+                }
+            )
+        return {"kind": "rng_streams", "seed": self._seed, "streams": streams}
+
+    def load_state(self, state: Dict) -> None:
+        """Restore a :meth:`state` capture (bit-identical draw sequences)."""
+        if state.get("kind") != "rng_streams":
+            raise ValueError(
+                f"cannot load state of kind {state.get('kind')!r} into "
+                "rng streams"
+            )
+        self._seed = int(state["seed"])
+        self._streams = {}
+        for entry in state["streams"]:
+            key = tuple(
+                tuple(part) if isinstance(part, list) else part
+                for part in entry["key"]
+            )
+            version, words, gauss_next = entry["rng"]
+            stream = random.Random()
+            stream.setstate(
+                (int(version), tuple(int(w) for w in words), gauss_next)
+            )
+            self._streams[key] = stream
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "RngStreams":
+        streams = cls(int(state["seed"]))
+        streams.load_state(state)
+        return streams

@@ -1,0 +1,137 @@
+"""Frozen construction configs: validation and the deprecated shims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.batch import BatchEngine
+from repro.cluster.config import ClusterConfig
+from repro.cluster.runtime import ClusterRuntime
+from repro.core.config import EngineConfig
+from repro.core.kernel import SyncEngine, degree_edge_alphas, flatten
+from repro.core.tree import kary_tree
+
+
+TREE = kary_tree(2, 2)
+N = TREE.n
+
+
+def make_engine(**kwargs):
+    flat = flatten(TREE)
+    return SyncEngine(flat, [1.0] * N, [1.0] * N, degree_edge_alphas(flat), **kwargs)
+
+
+class TestEngineConfigValidation:
+    def test_defaults_are_valid(self):
+        config = EngineConfig()
+        assert config.capacities is None
+        assert config.gossip_delay == 0
+        assert config.adaptive is True
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("capacities", ()),
+            ("capacities", (1.0, -2.0)),
+            ("capacities", (0.0,)),
+            ("gossip_delay", -1),
+            ("gossip_delay", 1.5),
+            ("quantum", -0.25),
+            ("density_threshold", 1.5),
+        ],
+    )
+    def test_bad_values_raise_naming_the_field(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            EngineConfig(**{field: value})
+
+    def test_nonpositive_density_threshold_is_legal(self):
+        # forces the dense path forever — an existing, supported setting
+        assert EngineConfig(density_threshold=-1.0).density_threshold == -1.0
+
+    def test_capacities_coerced_to_float_tuple(self):
+        assert EngineConfig(capacities=[1, 2]).capacities == (1.0, 2.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            EngineConfig().quantum = 1.0
+
+
+class TestClusterConfigValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("alpha", 0.0),
+            ("alpha", 1.5),
+            ("alpha", -0.1),
+            ("capacities", ()),
+            ("capacities", (-1.0,)),
+            ("tolerance", 0.0),
+            ("tolerance", -1e-3),
+        ],
+    )
+    def test_bad_values_raise_naming_the_field(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            ClusterConfig(**{field: value})
+
+    def test_defaults_are_valid(self):
+        config = ClusterConfig()
+        assert config.alpha is None and config.prune is True
+
+
+class TestDeprecatedShims:
+    def test_loose_kwargs_warn_and_still_work(self):
+        with pytest.warns(DeprecationWarning, match="SyncEngine.*deprecated"):
+            legacy = make_engine(gossip_delay=2, quantum=0.5)
+        modern = make_engine(config=EngineConfig(gossip_delay=2, quantum=0.5))
+        for _ in range(5):
+            legacy.step()
+            modern.step()
+        assert legacy.loads.tobytes() == modern.loads.tobytes()
+
+    def test_config_construction_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            make_engine(config=EngineConfig(adaptive=False))
+
+    def test_mixing_config_and_loose_kwargs_is_an_error(self):
+        with pytest.raises(TypeError, match="not both"):
+            make_engine(config=EngineConfig(), adaptive=False)
+
+    def test_unknown_kwarg_is_a_type_error(self):
+        with pytest.raises(TypeError, match="bogus"):
+            make_engine(bogus=1)
+
+    def test_cluster_runtime_loose_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning, match="ClusterRuntime.*deprecated"):
+            runtime = ClusterRuntime({0: TREE}, adaptive=False)
+        assert runtime.state()["adaptive"] is False
+
+    def test_cluster_runtime_config_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ClusterRuntime({0: TREE}, config=ClusterConfig(adaptive=False))
+
+
+class TestBatchEngineRejectsUnsupportedFields:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("capacities", (1.0,) * N),
+            ("gossip_delay", 1),
+            ("quantum", 0.5),
+        ],
+    )
+    def test_unsupported_config_fields_named_in_error(self, field, value):
+        flat = flatten(TREE)
+        with pytest.raises(ValueError, match=field):
+            BatchEngine(
+                flat,
+                [[1.0] * N],
+                None,
+                degree_edge_alphas(flat),
+                config=EngineConfig(**{field: value}),
+            )

@@ -68,6 +68,45 @@ class TestCli:
         assert "cluster-scalability" in err
 
 
+class TestMisuseIsUniform:
+    """Every subcommand's misuse path: usage + registry to stderr, exit 2."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["run"],
+            ["run", "bogus"],
+            ["obs-report"],
+            ["serve", "--tree", "bogus:1"],
+            ["serve", "--tree", "kary:not,numbers"],
+            ["serve", "--tree", "kary:2,2", "--export-every", "0"],
+            ["serve", "--restore", "/nonexistent/x.ckpt"],
+            ["ctl"],
+            ["ctl", "--socket", "/tmp/x.sock"],
+            ["ctl", "--socket", "/tmp/x.sock", "not json"],
+            ["ctl", "--socket", "/tmp/x.sock", '["a", "list"]'],
+        ],
+        ids=[
+            "run-no-ids",
+            "run-unknown-id",
+            "obs-report-no-path",
+            "serve-unknown-tree-shape",
+            "serve-malformed-tree-params",
+            "serve-bad-export-every",
+            "serve-missing-checkpoint",
+            "ctl-no-socket",
+            "ctl-no-command",
+            "ctl-bad-json",
+            "ctl-non-object-command",
+        ],
+    )
+    def test_misuse_prints_registry_and_exits_2(self, argv, capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "registered experiments:" in err
+        assert "cluster-scalability" in err
+
+
 class TestTelemetryCli:
     def test_obs_overhead_registered(self):
         assert "obs-overhead" in EXPERIMENTS

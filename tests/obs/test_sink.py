@@ -8,6 +8,7 @@ import numpy as np
 import pytest
 
 from repro.obs import MemorySink, NdjsonSink, read_ndjson
+from repro.obs.sink import scan_ndjson
 
 
 class TestMemorySink:
@@ -88,3 +89,33 @@ class TestReadNdjson:
     def test_missing_file_raises_oserror(self, tmp_path):
         with pytest.raises(OSError):
             read_ndjson(str(tmp_path / "absent.ndjson"))
+
+
+class TestScanNdjson:
+    def test_counts_skipped_corrupt_lines(self, tmp_path):
+        path = tmp_path / "stream.ndjson"
+        path.write_text('{"ok": 1}\n{"cut": tr\n{"ok": 2}\nnot json at all\n')
+        records, skipped = scan_ndjson(str(path))
+        assert records == [{"ok": 1}, {"ok": 2}]
+        assert skipped == 2
+
+    def test_clean_stream_has_zero_skipped(self, tmp_path):
+        path = tmp_path / "stream.ndjson"
+        with NdjsonSink(str(path)) as sink:
+            sink.write({"i": 1})
+            sink.write({"i": 2})
+        records, skipped = scan_ndjson(str(path))
+        assert len(records) == 2 and skipped == 0
+
+    def test_skipped_spans_rotated_parts(self, tmp_path):
+        path = tmp_path / "stream.ndjson"
+        (tmp_path / "stream.ndjson.1").write_text('{"old": 1}\ngarbage\n')
+        path.write_text('{"new": 1}\ntruncat')
+        records, skipped = scan_ndjson(str(path))
+        assert records == [{"old": 1}, {"new": 1}]
+        assert skipped == 2
+
+    def test_read_ndjson_delegates_and_stays_lenient(self, tmp_path):
+        path = tmp_path / "stream.ndjson"
+        path.write_text('{"ok": 1}\npartial li')
+        assert read_ndjson(str(path)) == [{"ok": 1}]

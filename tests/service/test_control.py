@@ -1,0 +1,111 @@
+"""Transport layer: ndjson loops over lists, pipes, and unix sockets."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.runtime import ClusterRuntime
+from repro.core.tree import kary_tree
+from repro.service import Service, send_command, serve_loop, serve_socket
+
+
+N = kary_tree(2, 2).n
+
+
+def make_service():
+    runtime = ClusterRuntime({0: kary_tree(2, 2)}, config=ClusterConfig(track_tlb=True))
+    return Service(runtime)
+
+
+def run_lines(service, commands):
+    out = io.StringIO()
+    lines = [json.dumps(c) if isinstance(c, dict) else c for c in commands]
+    processed = serve_loop(service, lines, out)
+    return processed, [json.loads(line) for line in out.getvalue().splitlines()]
+
+
+def test_serve_loop_one_response_per_command():
+    processed, responses = run_lines(
+        make_service(),
+        [
+            {"op": "publish", "doc_id": "d", "home": 0, "rates": [2.0] * N},
+            {"op": "tick", "count": 3},
+            {"op": "snapshot"},
+        ],
+    )
+    assert processed == 3
+    assert [r["ok"] for r in responses] == [True, True, True]
+    assert responses[2]["snapshot"]["documents"] == 1
+
+
+def test_serve_loop_survives_garbage_lines():
+    processed, responses = run_lines(
+        make_service(),
+        ["this is not json", "", "   ", {"op": "ping"}],
+    )
+    assert processed == 1  # only the ping counts; blanks skipped entirely
+    assert [r["ok"] for r in responses] == [False, True]
+    assert "bad JSON" in responses[0]["error"]
+
+
+def test_serve_loop_stops_after_shutdown():
+    processed, responses = run_lines(
+        make_service(),
+        [{"op": "shutdown"}, {"op": "ping"}],  # ping never runs
+    )
+    assert processed == 1
+    assert len(responses) == 1 and responses[0]["closing"]
+
+
+def test_socket_round_trip(tmp_path):
+    service = make_service()
+    sock = str(tmp_path / "svc.sock")
+    server = threading.Thread(target=serve_socket, args=(service, sock))
+    server.start()
+    try:
+        _wait_for(sock)
+        assert send_command(sock, {"op": "ping"}) == {"ok": True, "pong": True}
+        assert send_command(
+            sock, {"op": "publish", "doc_id": "d", "home": 0, "rates": [1.0] * N}
+        )["ok"]
+        # each ctl call is its own connection; state persists between them
+        assert send_command(sock, {"op": "tick", "count": 2})["ticks"] == 2
+        assert send_command(sock, {"op": "tick", "count": 2})["ticks"] == 4
+    finally:
+        send_command(sock, {"op": "shutdown"})
+        server.join(timeout=10)
+    assert not server.is_alive()
+
+
+def test_socket_file_removed_after_shutdown(tmp_path):
+    import os
+
+    service = make_service()
+    sock = str(tmp_path / "svc.sock")
+    server = threading.Thread(target=serve_socket, args=(service, sock))
+    server.start()
+    _wait_for(sock)
+    send_command(sock, {"op": "shutdown"})
+    server.join(timeout=10)
+    assert not os.path.exists(sock)
+
+
+def test_send_command_to_dead_socket_raises(tmp_path):
+    with pytest.raises(OSError):
+        send_command(str(tmp_path / "nobody.sock"), {"op": "ping"})
+
+
+def _wait_for(path, timeout=5.0):
+    import os
+    import time
+
+    deadline = time.monotonic() + timeout
+    while not os.path.exists(path):
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"socket {path} never appeared")
+        time.sleep(0.01)

@@ -1,0 +1,137 @@
+"""Service command semantics: every op, every failure mode, in-process."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.runtime import ClusterRuntime
+from repro.core.kernel import SyncEngine, degree_edge_alphas, flatten
+from repro.core.tree import kary_tree, tree_from_edges
+from repro.obs.sink import MemorySink
+from repro.service import Service
+
+
+N = kary_tree(2, 2).n
+
+
+@pytest.fixture
+def catalog():
+    base = kary_tree(2, 2)
+    edges = [(c, p) for c, p in enumerate(base.parent_map) if c != p]
+    trees = {h: tree_from_edges(base.n, edges, root=h) for h in (0, 1, 2)}
+    runtime = ClusterRuntime(trees, config=ClusterConfig(track_tlb=True))
+    runtime.publish("seed", 0, [3.0] + [1.0] * (N - 1))
+    return runtime
+
+
+@pytest.fixture
+def service(catalog):
+    return Service(catalog)
+
+
+def test_ping(service):
+    assert service.execute({"op": "ping"}) == {"ok": True, "pong": True}
+
+
+def test_info_reports_kind_and_catalog_support(service):
+    response = service.execute({"op": "info"})
+    assert response["ok"] and response["kind"] == "cluster_runtime"
+    assert response["catalog"] is True
+
+
+def test_tick_advances_and_counts(service):
+    assert service.execute({"op": "tick", "count": 3}) == {"ok": True, "ticks": 3}
+    assert service.execute({"op": "tick"}) == {"ok": True, "ticks": 4}
+
+
+def test_tick_streams_snapshots_every_export_every(catalog):
+    sink = MemorySink()
+    service = Service(catalog, sink=sink, export_every=2)
+    service.execute({"op": "tick", "count": 5})
+    assert len(sink.records) == 2  # ticks 2 and 4
+    assert all(r["type"] == "cluster_snapshot" for r in sink.records)
+
+
+def test_lifecycle_ops_mutate_the_catalog(service, catalog):
+    assert service.execute(
+        {"op": "publish", "doc_id": "d2", "home": 0, "rates": [1.0] * N}
+    )["ok"]
+    assert service.execute({"op": "set_rates", "doc_id": "d2", "rates": [2.0] * N})["ok"]
+    assert service.execute({"op": "scale", "factor": 0.5})["ok"]
+    response = service.execute({"op": "retire", "doc_id": "d2"})
+    assert response["ok"] and response["removed_mass"] > 0.0
+    assert service.execute({"op": "snapshot"})["snapshot"]["documents"] == 1
+
+
+def test_errors_come_back_as_responses_not_raises(service):
+    for bad in (
+        {"op": "retire", "doc_id": "ghost"},
+        {"op": "publish", "doc_id": "x", "home": 99, "rates": [1.0] * N},
+        {"op": "tick", "count": 0},
+        {"op": "nonsense"},
+        {"no_op_key": 1},
+        "not even a dict",
+    ):
+        response = service.execute(bad)
+        assert response["ok"] is False and response["error"]
+
+
+def test_unknown_op_lists_known_ops(service):
+    response = service.execute({"op": "frobnicate"})
+    assert "known ops" in response["error"]
+    assert "checkpoint" in response["error"] and "tick" in response["error"]
+
+
+def test_catalog_ops_rejected_on_kernel_engines():
+    flat = flatten(kary_tree(2, 2))
+    engine = SyncEngine(flat, [1.0] * N, [1.0] * N, degree_edge_alphas(flat))
+    service = Service(engine)
+    response = service.execute({"op": "publish", "doc_id": "d", "home": 0, "rates": []})
+    assert not response["ok"]
+    assert "SyncEngine" in response["error"]
+    # but the Steppable surface still works
+    assert service.execute({"op": "tick", "count": 2})["ok"]
+    assert service.execute({"op": "snapshot"})["snapshot"]["kind"] == "sync_engine"
+
+
+def test_checkpoint_restore_round_trip_through_service(service, tmp_path):
+    path = str(tmp_path / "svc.ckpt")
+    service.execute({"op": "tick", "count": 4})
+    before = service.execute({"op": "snapshot"})["snapshot"]
+    assert service.execute({"op": "checkpoint", "path": path})["kind"] == "cluster_runtime"
+
+    # diverge, then restore in place: state must rewind exactly
+    service.execute({"op": "scale", "factor": 3.0})
+    service.execute({"op": "tick", "count": 6})
+    response = service.execute({"op": "restore", "path": path})
+    assert response["ok"] and response["kind"] == "cluster_runtime"
+    assert service.execute({"op": "snapshot"})["snapshot"] == before
+
+
+def test_restore_keeps_live_tree_source(service, tmp_path):
+    """An in-place restore keeps homes the checkpoint never saw usable."""
+    path = str(tmp_path / "svc.ckpt")
+    service.execute({"op": "checkpoint", "path": path})
+    service.execute({"op": "restore", "path": path})
+    # home 2 was never published to before the checkpoint
+    response = service.execute(
+        {"op": "publish", "doc_id": "late", "home": 2, "rates": [1.0] * N}
+    )
+    assert response["ok"], response.get("error")
+
+
+def test_restore_missing_file_is_an_error_response(service):
+    response = service.execute({"op": "restore", "path": "/nonexistent/x.ckpt"})
+    assert not response["ok"] and "no checkpoint" in response["error"]
+
+
+def test_shutdown_marks_closed(service):
+    assert not service.closed
+    assert service.execute({"op": "shutdown"}) == {"ok": True, "closing": True}
+    assert service.closed
+
+
+def test_export_every_validated():
+    with pytest.raises(ValueError, match="export_every"):
+        Service(object(), export_every=0)

@@ -1,0 +1,128 @@
+"""End-to-end kill/restore parity through the real CLI, in subprocesses.
+
+The CI ``service-smoke`` job runs the same drill against the installed
+entry point; this test pins it locally: start ``serve --socket``, drive
+publish -> tick -> checkpoint via ``ctl``, kill the daemon, restore a
+fresh daemon from the checkpoint, tick again — and the final snapshot
+must match an uninterrupted run bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+RUNNER = [sys.executable, "-m", "repro.experiments.runner"]
+N = 7  # kary:2,2
+
+
+@pytest.fixture
+def env():
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    merged = dict(os.environ)
+    merged["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + merged.get("PYTHONPATH", "")
+    return merged
+
+
+def ctl(sock, command, env, *, expect_ok=True):
+    proc = subprocess.run(
+        RUNNER + ["ctl", "--socket", sock, json.dumps(command)],
+        capture_output=True, text=True, env=env, timeout=60,
+    )
+    assert proc.returncode == 0, f"ctl failed: {proc.stderr}\n{proc.stdout}"
+    response = json.loads(proc.stdout.strip())
+    if expect_ok:
+        assert response["ok"], response
+    return response
+
+
+def start_daemon(sock, env, *extra):
+    proc = subprocess.Popen(
+        RUNNER + ["serve", "--socket", sock, "--tree", "kary:2,2", *extra],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+    )
+    deadline = time.monotonic() + 30
+    while not os.path.exists(sock):
+        if proc.poll() is not None:
+            raise AssertionError(f"daemon died: {proc.stderr.read().decode()}")
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise TimeoutError("daemon socket never appeared")
+        time.sleep(0.02)
+    return proc
+
+
+def test_kill_restore_matches_uninterrupted_run(tmp_path, env):
+    sock = str(tmp_path / "daemon.sock")
+    ckpt = str(tmp_path / "mid.ckpt")
+    script_pre = [
+        {"op": "publish", "doc_id": "hot", "home": 0, "rates": [5.0] + [1.0] * (N - 1)},
+        {"op": "publish", "doc_id": "cold", "home": 2, "rates": [0.25] * N},
+        {"op": "tick", "count": 6},
+        {"op": "scale", "factor": 1.5},
+        {"op": "tick", "count": 4},
+    ]
+    script_post = [
+        {"op": "set_rates", "doc_id": "cold", "rates": [0.5] * N},
+        {"op": "tick", "count": 10},
+    ]
+
+    # --- interrupted run: checkpoint mid-flight, SIGKILL, restore ------
+    daemon = start_daemon(sock, env)
+    try:
+        for command in script_pre:
+            ctl(sock, command, env)
+        ctl(sock, {"op": "checkpoint", "path": ckpt}, env)
+    finally:
+        daemon.send_signal(signal.SIGKILL)
+        daemon.wait(timeout=30)
+    os.remove(sock)  # the killed daemon never cleaned up
+
+    daemon = start_daemon(sock, env, "--restore", ckpt)
+    try:
+        for command in script_post:
+            ctl(sock, command, env)
+        interrupted = ctl(sock, {"op": "snapshot"}, env)["snapshot"]
+    finally:
+        ctl(sock, {"op": "shutdown"}, env)
+        daemon.wait(timeout=30)
+
+    # --- uninterrupted run: same commands, one daemon ------------------
+    sock2 = str(tmp_path / "straight.sock")
+    daemon = start_daemon(sock2, env)
+    try:
+        for command in script_pre + script_post:
+            ctl(sock2, command, env)
+        straight = ctl(sock2, {"op": "snapshot"}, env)["snapshot"]
+    finally:
+        ctl(sock2, {"op": "shutdown"}, env)
+        daemon.wait(timeout=30)
+
+    assert interrupted == straight  # bit-for-bit, not approximately
+
+
+def test_serve_stdio_pipeline(tmp_path, env):
+    """The stdio transport: a shell-style one-shot command script."""
+    commands = "\n".join(
+        json.dumps(c)
+        for c in (
+            {"op": "publish", "doc_id": "d", "home": 0, "rates": [2.0] * N},
+            {"op": "tick", "count": 3},
+            {"op": "snapshot"},
+            {"op": "shutdown"},
+        )
+    )
+    proc = subprocess.run(
+        RUNNER + ["serve", "--tree", "kary:2,2"],
+        input=commands, capture_output=True, text=True, env=env, timeout=60,
+    )
+    assert proc.returncode == 0, proc.stderr
+    responses = [json.loads(line) for line in proc.stdout.splitlines()]
+    assert [r["ok"] for r in responses] == [True] * 4
+    assert responses[2]["snapshot"]["tick"] == 3
